@@ -1,0 +1,26 @@
+"""E7 — ablation of the SSME privilege spacing.
+
+Shows that spacing the privileged clock values ``2·diam(g)`` apart (the
+paper's choice) is what keeps mutual exclusion safe for *every* identity
+assignment: spacings of at most ``diam(g)`` admit legitimate configurations
+with two simultaneous privileges.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_privilege_spacing
+
+from conftest import run_report_benchmark
+
+
+def test_ablation_privilege_spacing(benchmark):
+    report = run_report_benchmark(
+        benchmark, ablation_privilege_spacing.run_experiment, path_sizes=[7, 11, 15]
+    )
+    assert report.passed
+    for row in report.rows:
+        if row["paper_choice"]:
+            assert row["safe_in_gamma1"]
+        if row["spacing"] <= row["diam"]:
+            assert not row["safe_in_gamma1"]
+            assert row["violations_per_period"] > 0

@@ -1,0 +1,23 @@
+"""E6 — regenerate the SSME vs Dijkstra head-to-head on rings.
+
+The paper's headline: Dijkstra's protocol needs ~n synchronous steps, SSME
+needs ceil(diam/2) ~ n/4, and no protocol can do better.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import dijkstra_comparison
+
+from conftest import run_report_benchmark
+
+
+def test_dijkstra_comparison(benchmark):
+    report = run_report_benchmark(
+        benchmark, dijkstra_comparison.run_experiment, ring_sizes=[8, 12, 16, 20, 24]
+    )
+    assert report.passed
+    for row in report.rows:
+        assert row["ssme_steps"] <= row["ssme_bound_ceil_diam_over_2"]
+        assert row["ssme_steps"] <= row["dijkstra_steps"]
+    largest = report.rows[-1]
+    assert largest["advantage_factor"] >= 2.0

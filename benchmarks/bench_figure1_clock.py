@@ -1,0 +1,16 @@
+"""E1 — regenerate Figure 1 (the bounded clock ``cherry(alpha, K)``).
+
+Validates the clock structure for the figure's parameters (alpha=5, K=12)
+and for the clocks SSME instantiates on rings of several sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure1_clock
+
+from conftest import run_report_benchmark
+
+
+def test_figure1_clock(benchmark):
+    report = run_report_benchmark(benchmark, figure1_clock.run_experiment, ssme_sizes=[4, 8, 16, 32])
+    assert report.passed

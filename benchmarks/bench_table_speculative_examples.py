@@ -1,0 +1,28 @@
+"""E2 — regenerate the Section 3 table of accidentally speculative protocols.
+
+Measures Dijkstra's token ring, the min+1 BFS tree and the Manne et al.
+maximal matching under an unfair-style scheduler and under the synchronous
+daemon, and reports the speculation factors next to the paper's asymptotic
+claims (Theta(n^2) vs n, Theta(n^2) vs Theta(diam), 4n+2m vs 2n+1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table_speculative_examples
+
+from conftest import run_report_benchmark
+
+
+def test_table_speculative_examples(benchmark):
+    report = run_report_benchmark(
+        benchmark,
+        table_speculative_examples.run_experiment,
+        dijkstra_sizes=[5, 7, 9, 11, 13],
+        bfs_sizes=[6, 9, 12, 15, 18],
+        matching_sizes=[6, 9, 12, 15],
+        configurations_per_graph=5,
+    )
+    assert report.passed
+    # The synchronous daemon is never slower than the unfair one.
+    for row in report.rows:
+        assert row["sync_steps"] <= row["unfair_steps"]

@@ -1,0 +1,21 @@
+"""E3 — regenerate the Theorem 2 check: ``conv_time(SSME, sd) <= ceil(diam/2)``.
+
+Sweeps topologies and sizes, measures the worst synchronous stabilization
+time of SSME over random + adversarial initial configurations, and verifies
+that the bound is both respected and reached (tightness).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import theorem2_sync_upper
+
+from conftest import run_report_benchmark
+
+
+def test_theorem2_sync_upper(benchmark):
+    report = run_report_benchmark(benchmark, theorem2_sync_upper.run_experiment)
+    assert report.passed
+    for row in report.rows:
+        assert row["measured_worst_steps"] <= row["bound_ceil_diam_over_2"]
+        assert row["reaches_bound"]
+        assert row["liveness_ok"]

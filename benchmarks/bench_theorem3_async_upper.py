@@ -1,0 +1,23 @@
+"""E4 — regenerate the Theorem 3 check: ``conv_time(SSME, ud) ∈ O(diam·n³)``.
+
+Estimates the unfair-daemon stabilization time of SSME (and of its unison
+substrate, the quantity the cubic analysis actually bounds) by maximizing
+over adversarial schedulers and initial configurations, and verifies every
+observation stays below the closed-form bound.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import theorem3_async_upper
+
+from conftest import run_report_benchmark
+
+
+def test_theorem3_async_upper(benchmark):
+    report = run_report_benchmark(benchmark, theorem3_async_upper.run_experiment)
+    assert report.passed
+    for row in report.rows:
+        assert row["unison_worst_steps"] <= row["theorem3_bound"]
+        assert row["mutex_worst_steps"] <= row["unison_worst_steps"]
+        # The speculation gap: the synchronous bound is tiny in comparison.
+        assert row["sync_bound_ceil_diam_over_2"] < row["theorem3_bound"]

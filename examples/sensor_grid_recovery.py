@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Domain scenario: radio-slot arbitration in a sensor grid.
+
+A wireless sensor network laid out as a grid uses mutual exclusion to decide
+which node may broadcast on the shared radio channel.  Nodes are cheap and
+occasionally glitch: a power brown-out can corrupt a node's memory
+arbitrarily (a *transient fault*).  SSME is a good fit because
+
+* the communication graph is a grid, not a ring — Dijkstra's protocol does
+  not apply;
+* in the common case the network is synchronous (all nodes tick on a GPS
+  pulse), and SSME recovers from any corruption within ``ceil(diam/2)``
+  ticks (Theorem 2);
+* even if the network degrades to asynchrony, recovery is still guaranteed
+  (Theorem 1).
+
+The script simulates a 4x5 grid, injects two waves of transient faults while
+the network is running, and reports how quickly exclusive channel access is
+re-established after each fault, together with fairness statistics.
+
+Run it with::
+
+    python examples/sensor_grid_recovery.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SSME, MutualExclusionSpec, SynchronousDaemon, Simulator
+from repro.core import observed_stabilization_index
+from repro.experiments import perturbed_configurations
+from repro.graphs import grid_graph
+from repro.mutex import critical_section_counts
+
+
+ROWS, COLS = 4, 5
+FAULTY_NODES = 6
+
+
+def run_phase(protocol, specification, initial, horizon, label):
+    simulator = Simulator(protocol, SynchronousDaemon())
+    execution = simulator.run(initial, max_steps=horizon)
+    stabilization = observed_stabilization_index(execution, specification, protocol)
+    bound = protocol.synchronous_stabilization_bound()
+    print(f"{label}:")
+    print(f"  exclusive channel access restored after {stabilization} tick(s) "
+          f"(Theorem 2 bound: {bound})")
+    counts = critical_section_counts(execution, protocol, start=stabilization or 0)
+    served = sum(1 for count in counts.values() if count >= 1)
+    print(f"  nodes that broadcast at least once afterwards: {served}/{protocol.graph.n}")
+    busiest = max(counts.values())
+    quietest = min(counts.values())
+    print(f"  broadcasts per node: min {quietest}, max {busiest} "
+          f"(perfectly fair would differ by at most 1)")
+    return execution.final
+
+
+def main(seed: int = 7) -> None:
+    rng = random.Random(seed)
+    graph = grid_graph(ROWS, COLS)
+    protocol = SSME(graph)
+    specification = MutualExclusionSpec(protocol)
+    horizon = protocol.K + 4 * protocol.alpha
+
+    print(f"sensor grid {ROWS}x{COLS} — {graph.n} nodes, diameter {protocol.diam}")
+    print(f"slot clock: cherry({protocol.alpha}, {protocol.K})")
+    print()
+
+    # Phase 1: the network boots with completely arbitrary memory contents.
+    boot = protocol.random_configuration(rng)
+    state = run_phase(protocol, specification, boot, horizon, "phase 1 — arbitrary boot state")
+    print()
+
+    # Phase 2: a brown-out corrupts a handful of nodes of the running system.
+    faulted = perturbed_configurations(
+        protocol, state, count=1, rng=rng, corrupted_vertices=FAULTY_NODES
+    )[0]
+    state = run_phase(
+        protocol,
+        specification,
+        faulted,
+        horizon,
+        f"phase 2 — brown-out corrupts {FAULTY_NODES} nodes",
+    )
+    print()
+
+    # Phase 3: a second, larger fault while the system keeps running.
+    faulted = perturbed_configurations(
+        protocol, state, count=1, rng=rng, corrupted_vertices=graph.n
+    )[0]
+    run_phase(
+        protocol,
+        specification,
+        faulted,
+        horizon,
+        "phase 3 — every node corrupted simultaneously",
+    )
+    print()
+    print("after every fault the grid re-established exclusive channel access")
+    print("within the Theorem 2 bound — no manual intervention needed.")
+
+
+if __name__ == "__main__":
+    main()

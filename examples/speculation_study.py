@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Speculation study: SSME vs Dijkstra's token ring across ring sizes.
+
+The point of speculative stabilization (Definition 4) is that a protocol can
+be robust against the unfair distributed daemon while being *much* faster on
+the executions one speculates to be common — synchronous ones.  This example
+quantifies the gap on rings:
+
+* Dijkstra's protocol (the 1974 baseline) stabilizes in about ``n``
+  synchronous steps;
+* SSME stabilizes in ``ceil(diam/2) = ceil(floor(n/2)/2)`` synchronous
+  steps — about four times faster — and that is optimal (Theorem 4).
+
+Run it with::
+
+    python examples/speculation_study.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SSME, DijkstraTokenRing, MutualExclusionSpec, SynchronousDaemon
+from repro.analysis import format_table, growth_exponent
+from repro.core import worst_case_stabilization
+from repro.experiments import mutex_workload, random_configurations
+from repro.graphs import diameter, ring_graph
+
+
+RING_SIZES = (8, 12, 16, 20, 24)
+
+
+def measure_ssme(n: int, rng: random.Random) -> int:
+    protocol = SSME(ring_graph(n))
+    specification = MutualExclusionSpec(protocol)
+    workload = mutex_workload(protocol, rng, random_count=6)
+    result = worst_case_stabilization(
+        protocol,
+        SynchronousDaemon,
+        specification,
+        workload,
+        horizon=protocol.K + 4 * protocol.alpha,
+    )
+    return result.max_steps
+
+
+def measure_dijkstra(n: int, rng: random.Random) -> int:
+    protocol = DijkstraTokenRing.on_ring(n)
+    specification = MutualExclusionSpec(protocol)
+    workload = random_configurations(protocol, 6, rng)
+    result = worst_case_stabilization(
+        protocol,
+        SynchronousDaemon,
+        specification,
+        workload,
+        horizon=8 * n + 80,
+    )
+    return result.max_steps
+
+
+def main(seed: int = 3) -> None:
+    rng = random.Random(seed)
+    rows = []
+    for n in RING_SIZES:
+        ssme_steps = measure_ssme(n, random.Random(rng.randrange(2**63)))
+        dijkstra_steps = measure_dijkstra(n, random.Random(rng.randrange(2**63)))
+        diam = diameter(ring_graph(n))
+        rows.append(
+            {
+                "ring size n": n,
+                "diam(g)": diam,
+                "SSME sync steps": ssme_steps,
+                "ceil(diam/2)": (diam + 1) // 2,
+                "Dijkstra sync steps": dijkstra_steps,
+                "advantage": dijkstra_steps / ssme_steps if ssme_steps else None,
+            }
+        )
+    print(format_table(rows, title="Synchronous stabilization on rings (worst case over workloads)"))
+    print()
+    ssme_exponent = growth_exponent([row["ring size n"] for row in rows], [row["SSME sync steps"] for row in rows])
+    dijkstra_exponent = growth_exponent(
+        [row["ring size n"] for row in rows], [row["Dijkstra sync steps"] for row in rows]
+    )
+    print(f"growth of SSME stabilization with n     : ~n^{ssme_exponent:.2f}")
+    print(f"growth of Dijkstra stabilization with n : ~n^{dijkstra_exponent:.2f}")
+    print()
+    print("both are linear in n on rings (diam = n/2), but SSME's constant is ~1/4")
+    print("of Dijkstra's — and by Theorem 4 no protocol can beat ceil(diam/2).")
+
+
+if __name__ == "__main__":
+    main()

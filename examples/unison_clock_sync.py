@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Asynchronous unison: the clock-synchronization substrate of SSME.
+
+SSME is a thin layer over the self-stabilizing asynchronous unison of
+Boulinier, Petit & Villain: every node keeps a bounded clock, resets when it
+detects a local inconsistency, climbs the initial tail, and then ticks in
+near-lockstep with its neighbours forever.  This example runs the unison on
+an irregular random topology under an *asynchronous* (random distributed)
+daemon and prints how the register drift collapses until the system is in
+the legitimate set Γ₁ and stays there.
+
+Run it with::
+
+    python examples/unison_clock_sync.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import AsynchronousUnison, AsynchronousUnisonSpec, DistributedDaemon, Simulator
+from repro.clocks import max_pairwise_drift
+from repro.graphs import random_connected_graph
+
+
+def main(n: int = 12, seed: int = 11) -> None:
+    rng = random.Random(seed)
+    graph = random_connected_graph(n, 0.2, random.Random(seed))
+    protocol = AsynchronousUnison(graph)
+    specification = AsynchronousUnisonSpec(protocol)
+
+    print(f"asynchronous unison on a random connected graph: n={graph.n}, m={graph.m}")
+    print(f"clock: cherry({protocol.alpha}, {protocol.K})")
+    print()
+
+    corrupted = protocol.random_configuration(rng)
+    simulator = Simulator(protocol, DistributedDaemon(0.5), rng=random.Random(seed))
+
+    configuration = corrupted
+    step = 0
+    print(f"{'step':>5} | {'in Γ₁':>6} | {'max drift':>9} | {'negative clocks':>15} | violations")
+    print("-" * 64)
+    horizon = 60 * graph.n
+    report_every = 10
+    stabilized_at = None
+    while step <= horizon:
+        legitimate = protocol.is_legitimate(configuration)
+        if legitimate and stabilized_at is None:
+            stabilized_at = step
+        if step % report_every == 0 or (legitimate and stabilized_at == step):
+            values = [configuration[v] for v in graph.vertices]
+            negatives = sum(1 for value in values if value < 0)
+            drift = max_pairwise_drift(protocol.clock, values)
+            violations = specification.drift_bound_violations(configuration)
+            print(
+                f"{step:>5} | {'yes' if legitimate else 'no':>6} | {drift:>9} | "
+                f"{negatives:>15} | {violations}"
+            )
+        if legitimate and step >= (stabilized_at or 0) + 3 * report_every:
+            break
+        result = simulator.step(configuration, step)
+        configuration = result.configuration
+        step += 1
+
+    print()
+    if stabilized_at is None:
+        print("the unison did not converge within the horizon — increase it.")
+    else:
+        print(f"the unison reached Γ₁ after {stabilized_at} asynchronous steps and")
+        print("never left it: neighbouring clocks now differ by at most one tick.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""repro — Speculative Self-Stabilization.
+
+A production-quality reproduction of
+
+    Swan Dubois and Rachid Guerraoui,
+    "Introducing Speculation in Self-Stabilization:
+     An Application to Mutual Exclusion", PODC 2013.
+
+The library provides:
+
+* a discrete-event simulator for self-stabilizing protocols in Dijkstra's
+  shared-memory (state) model, with explicit daemons/adversaries
+  (:mod:`repro.core`);
+* the communication-graph substrate and the structural parameters the paper
+  relies on (:mod:`repro.graphs`);
+* bounded clocks ``cherry(alpha, K)`` (:mod:`repro.clocks`) and the
+  Boulinier–Petit–Villain asynchronous unison built on them
+  (:mod:`repro.unison`);
+* the paper's contribution, the SSME mutual-exclusion protocol, together
+  with Dijkstra's token-ring baseline (:mod:`repro.mutex`);
+* the accidentally speculative baselines of Section 3
+  (:mod:`repro.baselines`);
+* the executable Theorem 4 lower-bound construction
+  (:mod:`repro.lowerbound`);
+* measurement, speculation analysis and the experiment harness reproducing
+  every quantitative claim of the paper (:mod:`repro.analysis`,
+  :mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import SSME, MutualExclusionSpec, SynchronousDaemon, Simulator
+>>> from repro.graphs import ring_graph
+>>> protocol = SSME(ring_graph(6))
+>>> simulator = Simulator(protocol, SynchronousDaemon())
+>>> execution = simulator.run(protocol.default_configuration(), max_steps=20)
+>>> execution.steps
+20
+"""
+
+from .clocks import BoundedClock
+from .core import (
+    AdversarialCentralDaemon,
+    CentralDaemon,
+    Configuration,
+    Daemon,
+    DistributedDaemon,
+    Execution,
+    LocallyCentralDaemon,
+    PrivilegeAware,
+    Protocol,
+    RoundRobinCentralDaemon,
+    Rule,
+    SilentSpecification,
+    Simulator,
+    Specification,
+    StarvationDaemon,
+    SynchronousDaemon,
+    measure_stabilization,
+    run_speculation_study,
+    worst_case_stabilization,
+)
+from .graphs import Graph
+from .mutex import SSME, DijkstraTokenRing, MutualExclusionSpec
+from .unison import AsynchronousUnison, AsynchronousUnisonSpec
+from .baselines import BfsSpanningTree, BfsTreeSpec, MaximalMatching, MaximalMatchingSpec
+from .exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversarialCentralDaemon",
+    "AsynchronousUnison",
+    "AsynchronousUnisonSpec",
+    "BfsSpanningTree",
+    "BfsTreeSpec",
+    "BoundedClock",
+    "CentralDaemon",
+    "Configuration",
+    "Daemon",
+    "DijkstraTokenRing",
+    "DistributedDaemon",
+    "Execution",
+    "Graph",
+    "LocallyCentralDaemon",
+    "MaximalMatching",
+    "MaximalMatchingSpec",
+    "MutualExclusionSpec",
+    "PrivilegeAware",
+    "Protocol",
+    "ReproError",
+    "RoundRobinCentralDaemon",
+    "Rule",
+    "SSME",
+    "SilentSpecification",
+    "Simulator",
+    "Specification",
+    "StarvationDaemon",
+    "SynchronousDaemon",
+    "__version__",
+    "measure_stabilization",
+    "run_speculation_study",
+    "worst_case_stabilization",
+]

@@ -1,0 +1,79 @@
+"""Numeric helpers for checking the paper's asymptotic claims.
+
+Several of the paper's statements are about *growth rates* — ``Θ(n²)`` vs
+``Θ(n)``, ``Θ(diam)``, ``O(diam·n³)`` — so the experiments need simple
+tools to (i) compare measured values against closed-form bounds and (ii)
+estimate growth exponents from series of (size, measurement) pairs by a
+log-log least-squares fit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ratios",
+    "within_bound",
+    "fit_power_law",
+    "growth_exponent",
+    "summarize",
+]
+
+
+def ratios(measurements: Sequence[float], bounds: Sequence[float]) -> List[Optional[float]]:
+    """Element-wise ``measurement / bound`` (``None`` where the bound is 0)."""
+    if len(measurements) != len(bounds):
+        raise ValueError("measurements and bounds must have the same length")
+    result: List[Optional[float]] = []
+    for measured, bound in zip(measurements, bounds):
+        result.append(measured / bound if bound else None)
+    return result
+
+
+def within_bound(measurements: Sequence[float], bounds: Sequence[float]) -> bool:
+    """Whether every measurement is at most its bound."""
+    if len(measurements) != len(bounds):
+        raise ValueError("measurements and bounds must have the same length")
+    return all(measured <= bound for measured, bound in zip(measurements, bounds))
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of ``y = c * x**a`` in log-log space.
+
+    Returns ``(a, c)``.  Data points with a non-positive coordinate are
+    dropped (they carry no log-log information); at least two usable points
+    are required.
+    """
+    points = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(points) < 2:
+        raise ValueError("need at least two positive data points for a power-law fit")
+    log_x = [math.log(x) for x, _ in points]
+    log_y = [math.log(y) for _, y in points]
+    n = len(points)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    denominator = sum((lx - mean_x) ** 2 for lx in log_x)
+    if denominator == 0:
+        raise ValueError("all x values are identical; cannot fit a power law")
+    slope = sum((lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y)) / denominator
+    intercept = mean_y - slope * mean_x
+    return slope, math.exp(intercept)
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The exponent ``a`` of the power-law fit (convenience wrapper)."""
+    return fit_power_law(xs, ys)[0]
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Min / max / mean / count summary of a series."""
+    values = list(values)
+    if not values:
+        return {"count": 0.0, "min": float("nan"), "max": float("nan"), "mean": float("nan")}
+    return {
+        "count": float(len(values)),
+        "min": min(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+    }

@@ -1,0 +1,83 @@
+"""ASCII / Markdown table rendering for experiment reports.
+
+The experiment drivers produce rows as plain dictionaries; these helpers
+turn them into aligned text tables so benchmarks and examples can print the
+same rows the paper's claims are stated in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_cell", "format_table", "format_markdown_table"]
+
+
+def format_cell(value: object, float_digits: int = 2) -> str:
+    """Render one cell: floats rounded, ``None`` as a dash, rest via str."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def _select_columns(
+    rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]]
+) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = _select_columns(rows, columns)
+    rendered = [[format_cell(row.get(col), float_digits) for col in cols] for row in rows]
+    widths = [
+        max(len(col), max(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    separator = "-+-".join("-" * widths[i] for i in range(len(cols)))
+    lines.append(header)
+    lines.append(separator)
+    for r in rendered:
+        lines.append(" | ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    cols = _select_columns(rows, columns)
+    lines = ["| " + " | ".join(cols) + " |", "|" + "|".join("---" for _ in cols) + "|"]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(format_cell(row.get(col), float_digits) for col in cols) + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Accidentally-speculative baseline protocols of Section 3."""
+
+from .bfs_tree import BfsSpanningTree, BfsTreeSpec
+from .matching import MatchingState, MaximalMatching, MaximalMatchingSpec
+
+__all__ = [
+    "BfsSpanningTree",
+    "BfsTreeSpec",
+    "MatchingState",
+    "MaximalMatching",
+    "MaximalMatchingSpec",
+]

@@ -1,0 +1,21 @@
+"""Bounded clocks (``cherry(alpha, K)``) — the substrate of Figure 1."""
+
+from .bounded_clock import BoundedClock
+from .analysis import (
+    all_within_drift,
+    clock_description,
+    drift,
+    max_pairwise_drift,
+    phi_orbit_partition,
+    render_cherry_ascii,
+)
+
+__all__ = [
+    "BoundedClock",
+    "all_within_drift",
+    "clock_description",
+    "drift",
+    "max_pairwise_drift",
+    "phi_orbit_partition",
+    "render_cherry_ascii",
+]

@@ -1,0 +1,97 @@
+"""Analysis helpers for bounded clocks.
+
+These utilities are used by the Figure 1 experiment (rendering the cherry
+structure) and by the unison/SSME analysis code (checking drift between
+registers, finding the privileged values on the cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..exceptions import ClockError
+from .bounded_clock import BoundedClock
+
+__all__ = [
+    "drift",
+    "max_pairwise_drift",
+    "all_within_drift",
+    "clock_description",
+    "render_cherry_ascii",
+    "phi_orbit_partition",
+]
+
+
+def drift(clock: BoundedClock, values: Iterable[int]) -> int:
+    """The maximum circular distance between any value and 0.
+
+    Only meaningful for correct values; initial values are treated through
+    their mod-``K`` representatives, matching ``d_K``.
+    """
+    values = list(values)
+    if not values:
+        return 0
+    return max(clock.distance(v, 0) for v in values)
+
+
+def max_pairwise_drift(clock: BoundedClock, values: Iterable[int]) -> int:
+    """The maximum ``d_K`` distance between any two of ``values``."""
+    values = list(values)
+    best = 0
+    for i, a in enumerate(values):
+        for b in values[i + 1 :]:
+            best = max(best, clock.distance(a, b))
+    return best
+
+
+def all_within_drift(clock: BoundedClock, values: Iterable[int], bound: int) -> bool:
+    """Whether every pair of values is within circular distance ``bound``."""
+    return max_pairwise_drift(clock, values) <= bound
+
+
+def clock_description(clock: BoundedClock) -> Dict[str, object]:
+    """A dictionary summary of the clock (used by the Figure 1 bench)."""
+    return {
+        "alpha": clock.alpha,
+        "K": clock.K,
+        "size": clock.size,
+        "initial_values": sorted(clock.initial_values()),
+        "correct_values_count": len(clock.correct_values()),
+        "reset_value": clock.reset_value(),
+    }
+
+
+def render_cherry_ascii(clock: BoundedClock, max_cycle_values: int = 24) -> str:
+    """An ASCII rendering of the cherry shape of Figure 1.
+
+    The tail of initial values is drawn on the left, the correct cycle on
+    the right (elided past ``max_cycle_values`` values).
+    """
+    tail = " -> ".join(str(v) for v in range(-clock.alpha, 0))
+    cycle_values = list(range(clock.K))
+    if len(cycle_values) > max_cycle_values:
+        head = cycle_values[: max_cycle_values // 2]
+        tail_vals = cycle_values[-max_cycle_values // 2 :]
+        cycle = " -> ".join(map(str, head)) + " -> ... -> " + " -> ".join(map(str, tail_vals))
+    else:
+        cycle = " -> ".join(map(str, cycle_values))
+    lines = [
+        f"cherry(alpha={clock.alpha}, K={clock.K})",
+        f"  initial tail : {tail} -> 0" if clock.alpha >= 1 else "  initial tail : 0",
+        f"  correct cycle: {cycle} -> 0 (wraps)",
+        f"  reset target : {clock.reset_value()}",
+    ]
+    return "\n".join(lines)
+
+
+def phi_orbit_partition(clock: BoundedClock) -> Tuple[List[int], List[int]]:
+    """Partition of the clock values into the transient tail and the
+    recurrent cycle of the ``phi`` dynamics.
+
+    Every initial value is transient (visited at most once per execution of
+    ``phi``), every correct value is recurrent: this is exactly the structure
+    Figure 1 illustrates.
+    """
+    transient = sorted(clock.strict_initial_values())
+    recurrent = sorted(clock.correct_values())
+    return transient, recurrent

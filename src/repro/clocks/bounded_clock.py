@@ -1,0 +1,224 @@
+"""The bounded clock ``cherry(alpha, K)`` of Figure 1.
+
+The asynchronous-unison substrate (and therefore SSME) operates on a
+*bounded clock* ``X = (cherry(alpha, K), phi)``:
+
+* the value domain is ``cherry(alpha, K) = {-alpha, ..., -1} ∪ {0, ..., K-1}``
+  — a "tail" of initial (negative) values grafted onto a cycle of ``K``
+  correct values, which is what the cherry shape in Figure 1 depicts;
+* the increment function ``phi`` walks up the tail and then around the
+  cycle: ``phi(c) = c + 1`` if ``c < 0`` else ``(c + 1) mod K``;
+* ``d_K`` is the circular distance on ``{0, ..., K-1}``;
+* two correct values are *locally comparable* when their circular distance
+  is at most 1, and ``c <=_l c'`` holds when ``c'`` is ``c`` or its
+  successor on the cycle;
+* a *reset* sends any value except ``-alpha`` back to ``-alpha``.
+
+The class below is an immutable value object describing the clock domain;
+clock *values* are plain integers, which keeps vertex states tiny and
+hashable.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Tuple
+
+from ..exceptions import ClockError
+
+__all__ = ["BoundedClock"]
+
+
+class BoundedClock:
+    """The bounded clock ``X = (cherry(alpha, K), phi)``.
+
+    Parameters
+    ----------
+    alpha:
+        Size of the initial tail (``alpha >= 1``).  The unison protocol
+        requires ``alpha >= hole(g) - 2``; SSME uses ``alpha = n``.
+    K:
+        Size of the correct cycle (``K >= 2``).  The unison protocol
+        requires ``K > cyclo(g)``; SSME uses ``K = (2n-1)(diam(g)+1)+2``.
+
+    Examples
+    --------
+    Figure 1 of the paper shows ``cherry(5, 12)``:
+
+    >>> clock = BoundedClock(alpha=5, K=12)
+    >>> clock.phi(-3)
+    -2
+    >>> clock.phi(11)
+    0
+    >>> clock.distance(1, 11)
+    2
+    """
+
+    __slots__ = ("_alpha", "_K")
+
+    def __init__(self, alpha: int, K: int) -> None:
+        if alpha < 1:
+            raise ClockError(f"alpha must be >= 1, got {alpha}")
+        if K < 2:
+            raise ClockError(f"K must be >= 2, got {K}")
+        self._alpha = alpha
+        self._K = K
+
+    # ------------------------------------------------------------------ #
+    # Parameters and domains
+    # ------------------------------------------------------------------ #
+    @property
+    def alpha(self) -> int:
+        """The initial-tail length ``alpha``."""
+        return self._alpha
+
+    @property
+    def K(self) -> int:
+        """The cycle size ``K``."""
+        return self._K
+
+    @property
+    def size(self) -> int:
+        """Total number of clock values, ``alpha + K``."""
+        return self._alpha + self._K
+
+    def values(self) -> Iterator[int]:
+        """All values of ``cherry(alpha, K)``, from ``-alpha`` to ``K-1``."""
+        return iter(range(-self._alpha, self._K))
+
+    def initial_values(self) -> FrozenSet[int]:
+        """``init_X = {-alpha, ..., 0}`` (note that 0 is both initial and correct)."""
+        return frozenset(range(-self._alpha, 1))
+
+    def strict_initial_values(self) -> FrozenSet[int]:
+        """``init*_X = init_X \\ {0}``."""
+        return frozenset(range(-self._alpha, 0))
+
+    def correct_values(self) -> FrozenSet[int]:
+        """``stab_X = {0, ..., K-1}``."""
+        return frozenset(range(self._K))
+
+    def strict_correct_values(self) -> FrozenSet[int]:
+        """``stab*_X = stab_X \\ {0}``."""
+        return frozenset(range(1, self._K))
+
+    # ------------------------------------------------------------------ #
+    # Membership predicates (the names mirror the paper)
+    # ------------------------------------------------------------------ #
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` belongs to ``cherry(alpha, K)``."""
+        return -self._alpha <= value < self._K
+
+    def check(self, value: int) -> int:
+        """Return ``value`` unchanged, raising :class:`ClockError` if it is
+        outside the clock domain."""
+        if not self.contains(value):
+            raise ClockError(
+                f"value {value} outside cherry({self._alpha}, {self._K})"
+            )
+        return value
+
+    def is_initial(self, value: int) -> bool:
+        """``value ∈ init_X`` (tail values and 0)."""
+        return -self._alpha <= value <= 0
+
+    def is_strict_initial(self, value: int) -> bool:
+        """``value ∈ init*_X`` (strictly negative tail values)."""
+        return -self._alpha <= value < 0
+
+    def is_correct(self, value: int) -> bool:
+        """``value ∈ stab_X`` (values on the cycle)."""
+        return 0 <= value < self._K
+
+    # ------------------------------------------------------------------ #
+    # The clock operations
+    # ------------------------------------------------------------------ #
+    def phi(self, value: int) -> int:
+        """The increment function ``phi`` of the paper."""
+        self.check(value)
+        if value < 0:
+            return value + 1
+        return (value + 1) % self._K
+
+    def increment(self, value: int, times: int = 1) -> int:
+        """Apply ``phi`` repeatedly (``times >= 0``)."""
+        if times < 0:
+            raise ClockError("cannot increment a negative number of times")
+        current = self.check(value)
+        for _ in range(times):
+            current = self.phi(current)
+        return current
+
+    def reset_value(self) -> int:
+        """The value a reset produces, ``-alpha``."""
+        return -self._alpha
+
+    def reset(self, value: int) -> int:
+        """Apply a reset: any value other than ``-alpha`` becomes ``-alpha``."""
+        self.check(value)
+        return -self._alpha
+
+    def canonical(self, value: int) -> int:
+        """``c``-bar of the paper: the representative of ``value`` modulo
+        ``K`` in ``{0, ..., K-1}``."""
+        return value % self._K
+
+    def distance(self, a: int, b: int) -> int:
+        """``d_K(a, b)``: circular distance between the mod-``K``
+        representatives of ``a`` and ``b``."""
+        ca, cb = self.canonical(a), self.canonical(b)
+        diff = (ca - cb) % self._K
+        return min(diff, self._K - diff)
+
+    def locally_comparable(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are locally comparable (``d_K <= 1``)."""
+        return self.distance(a, b) <= 1
+
+    def local_le(self, a: int, b: int) -> bool:
+        """The local relation ``a <=_l b``: ``b`` equals ``a`` or its
+        cyclic successor.  (Not an order, as the paper notes.)"""
+        return (self.canonical(b) - self.canonical(a)) % self._K <= 1
+
+    def steps_to_reach(self, start: int, target: int) -> int:
+        """Number of ``phi`` applications needed to go from ``start`` to
+        ``target`` (always defined because ``phi`` eventually visits every
+        correct value, and initial values are only reachable from below)."""
+        self.check(start)
+        self.check(target)
+        current = start
+        steps = 0
+        limit = self.size + self._K  # generous upper bound on the orbit length
+        while current != target:
+            current = self.phi(current)
+            steps += 1
+            if steps > limit:
+                raise ClockError(
+                    f"value {target} is unreachable from {start} by phi"
+                )
+        return steps
+
+    def trajectory(self, start: int, length: int) -> List[int]:
+        """The orbit ``[start, phi(start), phi²(start), ...]`` of ``length + 1``
+        values."""
+        if length < 0:
+            raise ClockError("length must be non-negative")
+        values = [self.check(start)]
+        for _ in range(length):
+            values.append(self.phi(values[-1]))
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundedClock):
+            return NotImplemented
+        return self._alpha == other._alpha and self._K == other._K
+
+    def __hash__(self) -> int:
+        return hash((self._alpha, self._K))
+
+    def __repr__(self) -> str:
+        return f"BoundedClock(alpha={self._alpha}, K={self._K})"
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, int) and self.contains(value)

@@ -1,0 +1,73 @@
+"""Core execution model: configurations, rules, protocols, daemons,
+simulator, specifications, and stabilization/speculation analysis."""
+
+from .state import Configuration
+from .rules import LocalView, Rule, make_rule
+from .protocol import ActivationRecord, PrivilegeAware, Protocol
+from .daemons import (
+    DAEMON_FACTORIES,
+    AdversarialCentralDaemon,
+    CentralDaemon,
+    Daemon,
+    DistributedDaemon,
+    LocallyCentralDaemon,
+    RoundRobinCentralDaemon,
+    StarvationDaemon,
+    SynchronousDaemon,
+    is_weaker_than,
+    make_daemon,
+)
+from .execution import Execution
+from .simulator import Simulator, StepResult, synchronous_execution
+from .specification import SilentSpecification, Specification
+from .stabilization import (
+    StabilizationMeasurement,
+    WorstCaseStabilization,
+    measure_stabilization,
+    observed_stabilization_index,
+    worst_case_stabilization,
+)
+from .speculation import (
+    DaemonStabilizationProfile,
+    SpeculationMeasurement,
+    SpeculationStudy,
+    measure_speculation,
+    run_speculation_study,
+)
+
+__all__ = [
+    "ActivationRecord",
+    "AdversarialCentralDaemon",
+    "CentralDaemon",
+    "Configuration",
+    "DAEMON_FACTORIES",
+    "Daemon",
+    "DaemonStabilizationProfile",
+    "DistributedDaemon",
+    "Execution",
+    "LocalView",
+    "LocallyCentralDaemon",
+    "PrivilegeAware",
+    "Protocol",
+    "RoundRobinCentralDaemon",
+    "Rule",
+    "SilentSpecification",
+    "Simulator",
+    "SpeculationMeasurement",
+    "SpeculationStudy",
+    "Specification",
+    "StabilizationMeasurement",
+    "StarvationDaemon",
+    "StepResult",
+    "SynchronousDaemon",
+    "WorstCaseStabilization",
+    "is_weaker_than",
+    "make_daemon",
+    "make_rule",
+    "measure_speculation",
+    "measure_stabilization",
+    "observed_stabilization_index",
+    "run_speculation_study",
+    "synchronous_execution",
+    "worst_case_stabilization",
+]

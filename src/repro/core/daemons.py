@@ -1,0 +1,457 @@
+"""Daemons (adversaries/schedulers) of Definition 1.
+
+A daemon restricts which executions of a protocol are considered possible.
+Operationally, our simulator consults the daemon at every configuration: the
+daemon receives the set of enabled vertices and returns the non-empty subset
+that gets activated during the next action.
+
+The classical daemons of the paper are provided:
+
+* :class:`SynchronousDaemon` (``sd``) — activates every enabled vertex;
+* :class:`CentralDaemon` (``cd``) — activates exactly one enabled vertex;
+* :class:`DistributedDaemon` — activates an arbitrary non-empty subset,
+  which (together with the adversarial variants below) stands in for the
+  *unfair distributed daemon* ``ud`` of the paper;
+* :class:`LocallyCentralDaemon` — never activates two neighbours at once;
+* :class:`AdversarialCentralDaemon` / :class:`StarvationDaemon` — greedy
+  heuristics that try to delay convergence or starve a process, used to
+  estimate worst-case stabilization times under unfair scheduling.
+
+Definition 2's partial order ("more powerful" = allows more executions) is
+made executable through :meth:`Daemon.admits_selection` and
+:func:`is_weaker_than`: a daemon is weaker than another (over a ground set
+of enabled vertices) when every per-step selection it can make is also
+available to the other.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import DaemonError
+from ..types import VertexId
+from .protocol import Protocol
+from .state import Configuration
+
+__all__ = [
+    "Daemon",
+    "SynchronousDaemon",
+    "CentralDaemon",
+    "RoundRobinCentralDaemon",
+    "DistributedDaemon",
+    "LocallyCentralDaemon",
+    "AdversarialCentralDaemon",
+    "StarvationDaemon",
+    "is_weaker_than",
+    "DAEMON_FACTORIES",
+    "make_daemon",
+]
+
+
+class Daemon(ABC):
+    """Base class for daemons.
+
+    A daemon may be *bound* to a protocol by the simulator (see
+    :meth:`bind`); adversarial daemons use the protocol to look ahead, the
+    others ignore it.
+    """
+
+    #: Short human-readable name ("sd", "cd", ...), set by subclasses.
+    name: str = "daemon"
+
+    def __init__(self) -> None:
+        self._protocol: Optional[Protocol] = None
+
+    def bind(self, protocol: Protocol) -> None:
+        """Attach the protocol whose executions this daemon schedules."""
+        self._protocol = protocol
+
+    @property
+    def protocol(self) -> Optional[Protocol]:
+        """The bound protocol, if any."""
+        return self._protocol
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        """Choose the non-empty subset of ``enabled`` to activate."""
+
+    def checked_select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        """Like :meth:`select`, with the legality checks of the model."""
+        if not enabled:
+            raise DaemonError("select() called with no enabled vertex")
+        selection = frozenset(self.select(enabled, configuration, step_index, rng))
+        if not selection:
+            raise DaemonError(f"daemon {self.name!r} returned an empty selection")
+        if not selection <= enabled:
+            raise DaemonError(
+                f"daemon {self.name!r} selected disabled vertices: "
+                f"{sorted(selection - enabled, key=repr)!r}"
+            )
+        return selection
+
+    # ------------------------------------------------------------------ #
+    # Definition 2 semantics
+    # ------------------------------------------------------------------ #
+    def admits_selection(
+        self, enabled: FrozenSet[VertexId], selection: FrozenSet[VertexId]
+    ) -> bool:
+        """Whether this daemon could ever return ``selection`` for ``enabled``.
+
+        The default is the unconstrained (distributed) behaviour: any
+        non-empty subset of the enabled vertices.
+        """
+        return bool(selection) and selection <= enabled
+
+    def admissible_selections(
+        self, enabled: FrozenSet[VertexId]
+    ) -> List[FrozenSet[VertexId]]:
+        """Enumerate every selection this daemon admits (small sets only)."""
+        vertices = sorted(enabled, key=repr)
+        result = []
+        for size in range(1, len(vertices) + 1):
+            for combo in itertools.combinations(vertices, size):
+                candidate = frozenset(combo)
+                if self.admits_selection(enabled, candidate):
+                    result.append(candidate)
+        return result
+
+    def reset(self) -> None:
+        """Forget scheduling memory (round-robin position, starvation
+        target...).  Called by the simulator before each run."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SynchronousDaemon(Daemon):
+    """The synchronous daemon ``sd``: every enabled vertex is activated."""
+
+    name = "sd"
+
+    def select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        return enabled
+
+    def admits_selection(
+        self, enabled: FrozenSet[VertexId], selection: FrozenSet[VertexId]
+    ) -> bool:
+        return bool(selection) and selection == enabled
+
+
+class CentralDaemon(Daemon):
+    """The central daemon ``cd``: exactly one enabled vertex per action.
+
+    ``strategy`` controls which vertex is picked:
+
+    * ``"random"`` — uniformly at random (default);
+    * ``"first"`` / ``"last"`` — deterministic extremes of the repr order,
+      useful to build reproducible sequential executions.
+    """
+
+    name = "cd"
+
+    def __init__(self, strategy: str = "random") -> None:
+        super().__init__()
+        if strategy not in {"random", "first", "last"}:
+            raise DaemonError(f"unknown central strategy {strategy!r}")
+        self._strategy = strategy
+
+    def select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        ordered = sorted(enabled, key=repr)
+        if self._strategy == "first":
+            choice = ordered[0]
+        elif self._strategy == "last":
+            choice = ordered[-1]
+        else:
+            choice = rng.choice(ordered)
+        return frozenset({choice})
+
+    def admits_selection(
+        self, enabled: FrozenSet[VertexId], selection: FrozenSet[VertexId]
+    ) -> bool:
+        return len(selection) == 1 and selection <= enabled
+
+
+class RoundRobinCentralDaemon(Daemon):
+    """A fair central daemon cycling through the vertices in a fixed order.
+
+    Useful as a benign sequential scheduler (it never starves a vertex).
+    """
+
+    name = "cd-rr"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        if self._protocol is None:
+            ordered_all = sorted(enabled, key=repr)
+        else:
+            ordered_all = list(self._protocol.graph.sorted_vertices())
+        total = len(ordered_all)
+        for offset in range(total):
+            candidate = ordered_all[(self._cursor + offset) % total]
+            if candidate in enabled:
+                self._cursor = (self._cursor + offset + 1) % total
+                return frozenset({candidate})
+        # Unreachable: checked_select() guarantees ``enabled`` is non-empty
+        # and every enabled vertex appears in ``ordered_all``.
+        raise DaemonError("round-robin daemon found no enabled vertex")
+
+    def admits_selection(
+        self, enabled: FrozenSet[VertexId], selection: FrozenSet[VertexId]
+    ) -> bool:
+        return len(selection) == 1 and selection <= enabled
+
+
+class DistributedDaemon(Daemon):
+    """The (randomized) distributed daemon: an arbitrary non-empty subset.
+
+    Each enabled vertex is selected independently with probability
+    ``activation_probability``; if the coin flips produce an empty set, one
+    enabled vertex is forced, so the selection is always legal.
+    """
+
+    name = "dd"
+
+    def __init__(self, activation_probability: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 < activation_probability <= 1.0:
+            raise DaemonError(
+                f"activation probability must be in (0, 1], got {activation_probability}"
+            )
+        self._p = activation_probability
+
+    def select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        chosen = {v for v in sorted(enabled, key=repr) if rng.random() < self._p}
+        if not chosen:
+            chosen = {rng.choice(sorted(enabled, key=repr))}
+        return frozenset(chosen)
+
+
+class LocallyCentralDaemon(Daemon):
+    """Never activates two neighbouring vertices in the same action.
+
+    The selection is a (greedy, randomized) maximal independent subset of
+    the enabled vertices.
+    """
+
+    name = "lcd"
+
+    def select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        if self._protocol is None:
+            raise DaemonError("locally central daemon requires a bound protocol")
+        graph = self._protocol.graph
+        ordered = sorted(enabled, key=repr)
+        rng.shuffle(ordered)
+        chosen: Set[VertexId] = set()
+        for v in ordered:
+            if not any(u in chosen for u in graph.neighbors(v)):
+                chosen.add(v)
+        return frozenset(chosen)
+
+    def admits_selection(
+        self, enabled: FrozenSet[VertexId], selection: FrozenSet[VertexId]
+    ) -> bool:
+        if not (selection and selection <= enabled):
+            return False
+        if self._protocol is None:
+            return True
+        graph = self._protocol.graph
+        return all(
+            not (graph.has_edge(u, v))
+            for u in selection
+            for v in selection
+            if u != v
+        )
+
+
+class AdversarialCentralDaemon(Daemon):
+    """A convergence-delaying central daemon (unfair heuristic).
+
+    At each configuration it activates the single enabled vertex whose
+    activation leaves the *largest* number of vertices enabled in the next
+    configuration (ties broken in favour of the vertex activated least
+    recently, then by identifier).  Keeping many vertices enabled for as
+    long as possible is a standard way to realize slow executions of
+    unison-style protocols, and empirically dominates random central
+    scheduling in our Theorem 3 experiment.
+    """
+
+    name = "cd-adv"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_activated: Dict[VertexId, int] = {}
+
+    def reset(self) -> None:
+        self._last_activated = {}
+
+    def select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        if self._protocol is None:
+            raise DaemonError("adversarial daemon requires a bound protocol")
+        protocol = self._protocol
+        graph = protocol.graph
+        best_vertex = None
+        best_key: Optional[Tuple[int, int, str]] = None
+        for vertex in sorted(enabled, key=repr):
+            next_config, _ = protocol.apply(configuration, [vertex])
+            # Activating a single vertex can only change the enabledness of
+            # that vertex and its neighbours, so the successor's enabled
+            # count is computed from the current one by a local delta.
+            closed_neighborhood = set(graph.neighbors(vertex)) | {vertex}
+            enabled_after = len(enabled - closed_neighborhood)
+            enabled_after += sum(
+                1 for w in closed_neighborhood if protocol.is_enabled(next_config, w)
+            )
+            recency = self._last_activated.get(vertex, -1)
+            # Maximize enabled_after, then prefer least recently activated.
+            key = (-enabled_after, recency, repr(vertex))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_vertex = vertex
+        assert best_vertex is not None
+        self._last_activated[best_vertex] = step_index
+        return frozenset({best_vertex})
+
+    def admits_selection(
+        self, enabled: FrozenSet[VertexId], selection: FrozenSet[VertexId]
+    ) -> bool:
+        return len(selection) == 1 and selection <= enabled
+
+
+class StarvationDaemon(Daemon):
+    """An unfair distributed daemon that starves a target vertex.
+
+    The target (by default the vertex with the largest identifier) is only
+    activated when it is the sole enabled vertex; every other enabled vertex
+    is activated at every step.  This realizes the classical unfairness
+    pattern used to exhibit worst-case executions.
+    """
+
+    name = "ud-starve"
+
+    def __init__(self, target: Optional[VertexId] = None) -> None:
+        super().__init__()
+        self._target = target
+
+    def _resolve_target(self) -> Optional[VertexId]:
+        if self._target is not None:
+            return self._target
+        if self._protocol is None:
+            return None
+        return self._protocol.graph.sorted_vertices()[-1]
+
+    def select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        target = self._resolve_target()
+        if target is None:
+            return enabled
+        without_target = frozenset(v for v in enabled if v != target)
+        return without_target if without_target else enabled
+
+
+def is_weaker_than(
+    weaker: Daemon, stronger: Daemon, ground_sets: Iterable[FrozenSet[VertexId]]
+) -> bool:
+    """Executable approximation of Definition 2 over sample enabled sets.
+
+    ``weaker`` is at most as powerful as ``stronger`` when every per-step
+    selection ``weaker`` admits is also admitted by ``stronger``.  The check
+    is performed for every enabled set in ``ground_sets`` (keep them small,
+    the enumeration is exponential).
+    """
+    for enabled in ground_sets:
+        enabled = frozenset(enabled)
+        if not enabled:
+            continue
+        weak_choices = set(weaker.admissible_selections(enabled))
+        strong_choices = set(stronger.admissible_selections(enabled))
+        if not weak_choices <= strong_choices:
+            return False
+    return True
+
+
+#: Factories for daemons by short name, used by the experiment harness and
+#: the command-line examples.
+DAEMON_FACTORIES = {
+    "sd": SynchronousDaemon,
+    "cd": CentralDaemon,
+    "cd-rr": RoundRobinCentralDaemon,
+    "cd-adv": AdversarialCentralDaemon,
+    "dd": DistributedDaemon,
+    "lcd": LocallyCentralDaemon,
+    "ud-starve": StarvationDaemon,
+}
+
+
+def make_daemon(name: str, **kwargs) -> Daemon:
+    """Instantiate a daemon by its short name."""
+    try:
+        factory = DAEMON_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(DAEMON_FACTORIES))
+        raise DaemonError(f"unknown daemon {name!r}; known: {known}") from None
+    return factory(**kwargs)

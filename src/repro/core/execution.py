@@ -1,0 +1,218 @@
+"""Execution traces.
+
+An execution (Section 2) is a sequence of actions
+``(γ0, γ1)(γ1, γ2)...``; we record the full sequence of configurations
+together with, for each action, the set of vertices the daemon selected,
+the rules they fired, and the set of vertices that were enabled — enough to
+replay, measure stabilization times in steps *and* rounds, and compute the
+restrictions used by the lower-bound argument (Definition 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..exceptions import SimulationError
+from ..types import VertexId, VertexStateLike
+from .protocol import ActivationRecord
+from .state import Configuration
+
+__all__ = ["Execution"]
+
+
+class Execution:
+    """An (always finite, possibly truncated) execution trace.
+
+    Attributes
+    ----------
+    configurations:
+        ``steps + 1`` configurations ``γ0 .. γ_steps``.
+    selections:
+        For each action ``i``, the set of vertices the daemon activated
+        during ``(γi, γ{i+1})``.
+    activations:
+        For each action, the :class:`ActivationRecord` of every activated
+        vertex that was actually enabled.
+    enabled_sets:
+        For each configuration ``γi`` (``i < steps`` always, plus the final
+        configuration when known), the set of enabled vertices.
+    truncated:
+        True when the run stopped because the step budget was exhausted
+        rather than because a terminal configuration was reached.
+    """
+
+    __slots__ = ("_configurations", "_selections", "_activations", "_enabled_sets", "truncated")
+
+    def __init__(
+        self,
+        configurations: Sequence[Configuration],
+        selections: Sequence[FrozenSet[VertexId]],
+        activations: Sequence[Sequence[ActivationRecord]],
+        enabled_sets: Sequence[FrozenSet[VertexId]],
+        truncated: bool,
+    ) -> None:
+        if not configurations:
+            raise SimulationError("an execution needs at least one configuration")
+        if len(selections) != len(configurations) - 1:
+            raise SimulationError("need exactly one selection per action")
+        if len(activations) != len(selections):
+            raise SimulationError("need exactly one activation list per action")
+        self._configurations: List[Configuration] = list(configurations)
+        self._selections: List[FrozenSet[VertexId]] = [frozenset(s) for s in selections]
+        self._activations: List[Tuple[ActivationRecord, ...]] = [tuple(a) for a in activations]
+        self._enabled_sets: List[FrozenSet[VertexId]] = [frozenset(s) for s in enabled_sets]
+        self.truncated = truncated
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def configurations(self) -> Sequence[Configuration]:
+        """``γ0 .. γ_steps``."""
+        return tuple(self._configurations)
+
+    @property
+    def steps(self) -> int:
+        """Number of actions in the execution."""
+        return len(self._selections)
+
+    @property
+    def initial(self) -> Configuration:
+        """``γ0``."""
+        return self._configurations[0]
+
+    @property
+    def final(self) -> Configuration:
+        """The last configuration of the (finite) trace."""
+        return self._configurations[-1]
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the trace ended in a terminal configuration."""
+        return not self.truncated
+
+    def configuration(self, index: int) -> Configuration:
+        """``γ_index``."""
+        try:
+            return self._configurations[index]
+        except IndexError:
+            raise SimulationError(
+                f"configuration index {index} out of range (0..{self.steps})"
+            ) from None
+
+    def selection(self, index: int) -> FrozenSet[VertexId]:
+        """Vertices activated during action ``(γ_index, γ_{index+1})``."""
+        try:
+            return self._selections[index]
+        except IndexError:
+            raise SimulationError(f"action index {index} out of range (0..{self.steps - 1})") from None
+
+    def activation_records(self, index: int) -> Tuple[ActivationRecord, ...]:
+        """Activation records of action ``index``."""
+        try:
+            return self._activations[index]
+        except IndexError:
+            raise SimulationError(f"action index {index} out of range (0..{self.steps - 1})") from None
+
+    def enabled_at(self, index: int) -> FrozenSet[VertexId]:
+        """The enabled vertices in ``γ_index`` (recorded during the run)."""
+        try:
+            return self._enabled_sets[index]
+        except IndexError:
+            raise SimulationError(f"no enabled set recorded for index {index}") from None
+
+    # ------------------------------------------------------------------ #
+    # Derived views (Definition 8 and friends)
+    # ------------------------------------------------------------------ #
+    def prefix(self, length: int) -> "Execution":
+        """The prefix ``e_length`` of the execution (``length`` actions)."""
+        if not 0 <= length <= self.steps:
+            raise SimulationError(f"prefix length {length} out of range (0..{self.steps})")
+        return Execution(
+            configurations=self._configurations[: length + 1],
+            selections=self._selections[:length],
+            activations=self._activations[:length],
+            enabled_sets=self._enabled_sets[: length + 1]
+            if len(self._enabled_sets) > length
+            else self._enabled_sets[:length],
+            truncated=True if length < self.steps else self.truncated,
+        )
+
+    def suffix(self, start: int) -> "Execution":
+        """The suffix starting at configuration ``γ_start``."""
+        if not 0 <= start <= self.steps:
+            raise SimulationError(f"suffix start {start} out of range (0..{self.steps})")
+        return Execution(
+            configurations=self._configurations[start:],
+            selections=self._selections[start:],
+            activations=self._activations[start:],
+            enabled_sets=self._enabled_sets[start:],
+            truncated=self.truncated,
+        )
+
+    def restriction(self, vertex: VertexId) -> List[VertexStateLike]:
+        """The restriction ``e_v`` of Definition 8: the sequence of local
+        states of ``vertex`` along the execution."""
+        return [configuration[vertex] for configuration in self._configurations]
+
+    def activated_steps(self, vertex: VertexId) -> List[int]:
+        """Indices of the actions during which ``vertex`` fired a rule."""
+        return [
+            i
+            for i, records in enumerate(self._activations)
+            if any(record.vertex == vertex for record in records)
+        ]
+
+    def rule_counts(self) -> Dict[str, int]:
+        """How many times each rule fired over the whole execution."""
+        counts: Dict[str, int] = {}
+        for records in self._activations:
+            for record in records:
+                counts[record.rule_name] = counts.get(record.rule_name, 0) + 1
+        return counts
+
+    def moves(self) -> int:
+        """Total number of individual rule firings (moves)."""
+        return sum(len(records) for records in self._activations)
+
+    def count_rounds(self) -> int:
+        """Number of complete *rounds* in the trace.
+
+        A round starting at configuration ``γ_s`` ends at the first
+        configuration ``γ_t`` (``t > s``) such that every vertex enabled in
+        ``γ_s`` has, at some point in ``γ_s .. γ_t``, either been activated
+        or become disabled.  Rounds are the usual coarse-grained time unit
+        for asynchronous executions.
+        """
+        if self.steps == 0:
+            return 0
+        rounds = 0
+        start = 0
+        while start < self.steps:
+            pending = set(self._enabled_sets[start]) if start < len(self._enabled_sets) else set()
+            if not pending:
+                break
+            index = start
+            while pending and index < self.steps:
+                activated = {record.vertex for record in self._activations[index]}
+                pending -= activated
+                next_enabled = (
+                    self._enabled_sets[index + 1]
+                    if index + 1 < len(self._enabled_sets)
+                    else frozenset()
+                )
+                pending &= set(next_enabled)
+                index += 1
+            if pending:
+                # The trace ended before the round completed.
+                break
+            rounds += 1
+            start = index
+        return rounds
+
+    def __len__(self) -> int:
+        return self.steps
+
+    def __repr__(self) -> str:
+        status = "terminal" if self.is_terminal else "truncated"
+        return f"Execution(steps={self.steps}, {status})"

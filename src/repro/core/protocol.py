@@ -1,0 +1,229 @@
+"""The distributed-protocol abstraction.
+
+A distributed protocol (Section 2) is, for each vertex, a set of guarded
+rules.  Concrete protocols (unison, SSME, Dijkstra's token ring, the BFS
+tree, the matching) subclass :class:`Protocol` and provide their rules, a
+random-state sampler (used to draw arbitrary initial configurations, i.e.
+post-transient-fault states), and optionally a privilege predicate for
+mutual-exclusion-style specifications.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ProtocolError
+from ..graphs import Graph
+from ..types import VertexId, VertexStateLike
+from .rules import LocalView, Rule
+from .state import Configuration
+
+__all__ = ["Protocol", "PrivilegeAware", "ActivationRecord"]
+
+
+class ActivationRecord:
+    """What happened to one vertex during one action of the execution."""
+
+    __slots__ = ("vertex", "rule_name", "old_state", "new_state")
+
+    def __init__(
+        self,
+        vertex: VertexId,
+        rule_name: str,
+        old_state: VertexStateLike,
+        new_state: VertexStateLike,
+    ) -> None:
+        self.vertex = vertex
+        self.rule_name = rule_name
+        self.old_state = old_state
+        self.new_state = new_state
+
+    @property
+    def changed(self) -> bool:
+        """Whether the activation actually modified the state."""
+        return self.old_state != self.new_state
+
+    def __repr__(self) -> str:
+        return (
+            f"ActivationRecord(vertex={self.vertex!r}, rule={self.rule_name!r}, "
+            f"{self.old_state!r} -> {self.new_state!r})"
+        )
+
+
+class Protocol(ABC):
+    """Base class of every distributed protocol in the library.
+
+    Subclasses must implement :meth:`rules` and :meth:`random_state`; they
+    may override :meth:`validate_state` to reject malformed states and
+    :meth:`choose_rule` if several rules can be enabled simultaneously at a
+    vertex (none of the protocols of the paper needs that).
+    """
+
+    #: Human-readable protocol name, overridden by subclasses.
+    name: str = "protocol"
+
+    def __init__(self, graph: Graph) -> None:
+        if graph.n == 0:
+            raise ProtocolError("protocols require a non-empty communication graph")
+        if not graph.is_connected():
+            raise ProtocolError(f"{type(self).__name__} requires a connected communication graph")
+        self._graph = graph
+
+    # ------------------------------------------------------------------ #
+    # Abstract interface
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        """The communication graph the protocol runs on."""
+        return self._graph
+
+    @abstractmethod
+    def rules(self) -> Sequence[Rule]:
+        """The guarded rules of the local protocol (same for every vertex)."""
+
+    @abstractmethod
+    def random_state(self, vertex: VertexId, rng: random.Random) -> VertexStateLike:
+        """Sample an arbitrary (possibly corrupted) state for ``vertex``.
+
+        Drawing every vertex's state through this method produces an
+        arbitrary initial configuration, which is how transient faults are
+        modelled in self-stabilization.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Optional hooks
+    # ------------------------------------------------------------------ #
+    def validate_state(self, vertex: VertexId, state: VertexStateLike) -> None:
+        """Raise :class:`ProtocolError` if ``state`` is not a legal local
+        state for ``vertex``.  The default accepts everything."""
+
+    def choose_rule(self, enabled_rules: Sequence[Rule], view: LocalView) -> Rule:
+        """Pick which enabled rule the vertex executes when activated.
+
+        All protocols in this library have mutually exclusive guards, so the
+        default (first enabled rule, in :meth:`rules` order) never has to
+        arbitrate; it exists as an explicit extension point.
+        """
+        return enabled_rules[0]
+
+    def default_state(self, vertex: VertexId) -> VertexStateLike:
+        """A canonical 'clean' state, used by workload generators that want
+        a well-defined non-random starting point.  Defaults to sampling with
+        a fixed seed."""
+        return self.random_state(vertex, random.Random(0))
+
+    # ------------------------------------------------------------------ #
+    # Configurations
+    # ------------------------------------------------------------------ #
+    def configuration(self, assignment: Mapping[VertexId, VertexStateLike]) -> Configuration:
+        """Build and validate a configuration from ``assignment``."""
+        missing = [v for v in self._graph.vertices if v not in assignment]
+        if missing:
+            raise ProtocolError(f"assignment misses vertices: {missing!r}")
+        extra = [v for v in assignment if v not in self._graph]
+        if extra:
+            raise ProtocolError(f"assignment has unknown vertices: {extra!r}")
+        for vertex, state in assignment.items():
+            self.validate_state(vertex, state)
+        return Configuration(assignment)
+
+    def random_configuration(self, rng: random.Random) -> Configuration:
+        """An arbitrary configuration: every state drawn by :meth:`random_state`."""
+        return Configuration(
+            {v: self.random_state(v, rng) for v in self._graph.vertices}
+        )
+
+    def default_configuration(self) -> Configuration:
+        """The configuration assigning :meth:`default_state` everywhere."""
+        return Configuration({v: self.default_state(v) for v in self._graph.vertices})
+
+    # ------------------------------------------------------------------ #
+    # Enabledness and transitions
+    # ------------------------------------------------------------------ #
+    def local_view(self, configuration: Configuration, vertex: VertexId) -> LocalView:
+        """The local view of ``vertex`` in ``configuration``."""
+        return LocalView.from_configuration(configuration, vertex, self._graph)
+
+    def enabled_rules(self, configuration: Configuration, vertex: VertexId) -> List[Rule]:
+        """The rules of ``vertex`` whose guard holds in ``configuration``."""
+        view = self.local_view(configuration, vertex)
+        return [rule for rule in self.rules() if rule.is_enabled(view)]
+
+    def is_enabled(self, configuration: Configuration, vertex: VertexId) -> bool:
+        """Whether ``vertex`` is enabled in ``configuration``."""
+        return bool(self.enabled_rules(configuration, vertex))
+
+    def enabled_vertices(self, configuration: Configuration) -> FrozenSet[VertexId]:
+        """The set of enabled vertices in ``configuration``."""
+        return frozenset(
+            v for v in self._graph.vertices if self.is_enabled(configuration, v)
+        )
+
+    def apply(
+        self, configuration: Configuration, selected: Iterable[VertexId]
+    ) -> Tuple[Configuration, List[ActivationRecord]]:
+        """Execute one action: activate every vertex in ``selected``.
+
+        Each selected vertex evaluates its rules against the *current*
+        configuration (atomic snapshot of its neighbours) and rewrites its
+        own state; all rewrites are applied simultaneously, which is exactly
+        the semantics of the state model under an arbitrary daemon.
+
+        Selected vertices that turn out to be disabled are ignored (the
+        daemon abstraction already prevents this; tolerating it makes the
+        method convenient for exploratory use).
+        """
+        changes: Dict[VertexId, VertexStateLike] = {}
+        records: List[ActivationRecord] = []
+        for vertex in selected:
+            if vertex not in self._graph:
+                raise ProtocolError(f"cannot activate unknown vertex {vertex!r}")
+            view = self.local_view(configuration, vertex)
+            enabled = [rule for rule in self.rules() if rule.is_enabled(view)]
+            if not enabled:
+                continue
+            rule = self.choose_rule(enabled, view)
+            new_state = rule.apply(view)
+            self.validate_state(vertex, new_state)
+            changes[vertex] = new_state
+            records.append(
+                ActivationRecord(
+                    vertex=vertex,
+                    rule_name=rule.name,
+                    old_state=configuration[vertex],
+                    new_state=new_state,
+                )
+            )
+        if not changes:
+            return configuration, records
+        return configuration.updated(changes), records
+
+    def is_terminal(self, configuration: Configuration) -> bool:
+        """Whether no vertex is enabled in ``configuration``."""
+        return not self.enabled_vertices(configuration)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(graph={self._graph!r})"
+
+
+class PrivilegeAware(ABC):
+    """Mixin for protocols that define a ``privileged`` predicate.
+
+    Mutual-exclusion-style specifications (``spec_ME``) are expressed in
+    terms of this predicate (Section 4): a vertex that is privileged in a
+    configuration and activated during the next action executes its critical
+    section during that action.
+    """
+
+    @abstractmethod
+    def is_privileged(self, configuration: Configuration, vertex: VertexId) -> bool:
+        """Whether ``vertex`` is privileged in ``configuration``."""
+
+    def privileged_vertices(self, configuration: Configuration) -> FrozenSet[VertexId]:
+        """All privileged vertices of ``configuration``."""
+        graph: Graph = getattr(self, "graph")
+        return frozenset(
+            v for v in graph.vertices if self.is_privileged(configuration, v)
+        )

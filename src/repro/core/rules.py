@@ -1,0 +1,127 @@
+"""Guarded rules and the local view they are evaluated against.
+
+The paper describes protocols in Dijkstra's guarded-command style
+(Section 2): each vertex runs a local protocol made of rules
+
+    <label> :: <guard> --> <action>
+
+where the guard is a predicate over the vertex's own variables and those of
+its neighbours, and the action rewrites the vertex's own variables.  The
+:class:`LocalView` type is the *only* information a guard or an action may
+read, which enforces the locality restriction of the model ("each process
+can only update its state based on locally available information").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Sequence
+
+from ..exceptions import ProtocolError
+from ..graphs import Graph
+from ..types import VertexId, VertexStateLike
+from .state import Configuration
+
+__all__ = ["LocalView", "Rule", "make_rule"]
+
+
+class LocalView:
+    """What a vertex can see when evaluating its guarded rules.
+
+    Attributes
+    ----------
+    vertex:
+        The vertex evaluating its rules.
+    state:
+        Its current local state.
+    neighbor_states:
+        Mapping from each neighbour to that neighbour's current state.
+    graph:
+        The communication graph (for degree / identity queries only; rules
+        must not peek at non-neighbour states, and the view gives them no
+        way to).
+    """
+
+    __slots__ = ("vertex", "state", "neighbor_states", "graph")
+
+    def __init__(
+        self,
+        vertex: VertexId,
+        state: VertexStateLike,
+        neighbor_states: Mapping[VertexId, VertexStateLike],
+        graph: Graph,
+    ) -> None:
+        self.vertex = vertex
+        self.state = state
+        self.neighbor_states: Dict[VertexId, VertexStateLike] = dict(neighbor_states)
+        self.graph = graph
+
+    @classmethod
+    def from_configuration(
+        cls, configuration: Configuration, vertex: VertexId, graph: Graph
+    ) -> "LocalView":
+        """Build the view of ``vertex`` in ``configuration``."""
+        neighbors = graph.neighbors(vertex)
+        return cls(
+            vertex=vertex,
+            state=configuration[vertex],
+            neighbor_states={u: configuration[u] for u in neighbors},
+            graph=graph,
+        )
+
+    @property
+    def neighbors(self) -> FrozenSet[VertexId]:
+        """The neighbours of the vertex."""
+        return frozenset(self.neighbor_states)
+
+    def neighbor_values(self) -> Sequence[VertexStateLike]:
+        """The neighbour states, in a deterministic (repr-sorted) order."""
+        return [self.neighbor_states[u] for u in sorted(self.neighbor_states, key=repr)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"LocalView(vertex={self.vertex!r}, state={self.state!r}, "
+            f"neighbors={sorted(self.neighbor_states, key=repr)!r})"
+        )
+
+
+class Rule:
+    """A guarded rule ``label :: guard --> action``.
+
+    ``guard`` maps a :class:`LocalView` to a boolean; ``action`` maps a
+    :class:`LocalView` to the vertex's *new* local state.  Actions must be
+    pure functions of the view.
+    """
+
+    __slots__ = ("name", "guard", "action")
+
+    def __init__(
+        self,
+        name: str,
+        guard: Callable[[LocalView], bool],
+        action: Callable[[LocalView], VertexStateLike],
+    ) -> None:
+        if not name:
+            raise ProtocolError("rules must have a non-empty name")
+        self.name = name
+        self.guard = guard
+        self.action = action
+
+    def is_enabled(self, view: LocalView) -> bool:
+        """Evaluate the guard on ``view``."""
+        return bool(self.guard(view))
+
+    def apply(self, view: LocalView) -> VertexStateLike:
+        """Evaluate the action on ``view`` and return the new state."""
+        return self.action(view)
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name!r})"
+
+
+def make_rule(
+    name: str,
+    guard: Callable[[LocalView], bool],
+    action: Callable[[LocalView], VertexStateLike],
+) -> Rule:
+    """Small convenience constructor mirroring the paper's rule syntax."""
+    return Rule(name=name, guard=guard, action=action)

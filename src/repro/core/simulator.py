@@ -1,0 +1,203 @@
+"""The discrete-event simulator: protocol + daemon -> executions.
+
+The simulator realizes the operational model of Section 2: at each
+configuration it computes the enabled vertices, asks the daemon for a
+non-empty subset of them, and applies the corresponding action atomically.
+Runs are deterministic given the seed (and fully deterministic under the
+synchronous daemon).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, FrozenSet, List, Optional, Sequence
+
+from ..exceptions import SimulationError
+from ..types import VertexId
+from .daemons import Daemon
+from .execution import Execution
+from .protocol import ActivationRecord, Protocol
+from .state import Configuration
+
+__all__ = ["StepResult", "Simulator"]
+
+
+class StepResult:
+    """Outcome of a single simulated action."""
+
+    __slots__ = ("configuration", "selection", "records", "enabled", "terminal")
+
+    def __init__(
+        self,
+        configuration: Configuration,
+        selection: FrozenSet[VertexId],
+        records: Sequence[ActivationRecord],
+        enabled: FrozenSet[VertexId],
+        terminal: bool,
+    ) -> None:
+        self.configuration = configuration
+        self.selection = selection
+        self.records = tuple(records)
+        self.enabled = enabled
+        self.terminal = terminal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"StepResult(selected={sorted(self.selection, key=repr)!r}, "
+            f"terminal={self.terminal})"
+        )
+
+
+class Simulator:
+    """Runs executions of a protocol under a daemon.
+
+    Parameters
+    ----------
+    protocol:
+        The distributed protocol to execute.
+    daemon:
+        The adversary scheduling the execution.  It is bound to the
+        protocol by the constructor.
+    rng:
+        Source of randomness for the daemon (and nothing else).  Passing a
+        seeded ``random.Random`` makes runs reproducible.
+
+    Examples
+    --------
+    >>> from repro.graphs import ring_graph
+    >>> from repro.mutex import SSME
+    >>> from repro.core import SynchronousDaemon, Simulator
+    >>> protocol = SSME(ring_graph(4))
+    >>> sim = Simulator(protocol, SynchronousDaemon())
+    >>> execution = sim.run(protocol.default_configuration(), max_steps=10)
+    >>> execution.steps
+    10
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        daemon: Daemon,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._protocol = protocol
+        self._daemon = daemon
+        self._daemon.bind(protocol)
+        self._rng = rng or random.Random(0)
+
+    @property
+    def protocol(self) -> Protocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    @property
+    def daemon(self) -> Daemon:
+        """The scheduling daemon."""
+        return self._daemon
+
+    # ------------------------------------------------------------------ #
+    # Single step
+    # ------------------------------------------------------------------ #
+    def step(self, configuration: Configuration, step_index: int = 0) -> StepResult:
+        """Simulate one action from ``configuration``.
+
+        If the configuration is terminal the result has ``terminal=True``
+        and echoes the configuration unchanged.
+        """
+        enabled = self._protocol.enabled_vertices(configuration)
+        if not enabled:
+            return StepResult(
+                configuration=configuration,
+                selection=frozenset(),
+                records=(),
+                enabled=enabled,
+                terminal=True,
+            )
+        selection = self._daemon.checked_select(enabled, configuration, step_index, self._rng)
+        new_configuration, records = self._protocol.apply(configuration, selection)
+        return StepResult(
+            configuration=new_configuration,
+            selection=selection,
+            records=records,
+            enabled=enabled,
+            terminal=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Full runs
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        initial: Configuration,
+        max_steps: int,
+        stop_when: Optional[Callable[[Configuration, int], bool]] = None,
+    ) -> Execution:
+        """Run up to ``max_steps`` actions starting from ``initial``.
+
+        The run stops early when a terminal configuration is reached or when
+        ``stop_when(configuration, step_index)`` returns True (the predicate
+        is also evaluated on the initial configuration with index 0).
+        """
+        if max_steps < 0:
+            raise SimulationError("max_steps must be non-negative")
+        self._daemon.reset()
+        configurations: List[Configuration] = [initial]
+        selections: List[FrozenSet[VertexId]] = []
+        activations: List[Sequence[ActivationRecord]] = []
+        enabled_sets: List[FrozenSet[VertexId]] = []
+        truncated = True
+
+        current = initial
+        for index in range(max_steps + 1):
+            enabled = self._protocol.enabled_vertices(current)
+            enabled_sets.append(enabled)
+            if stop_when is not None and stop_when(current, index):
+                truncated = True
+                break
+            if not enabled:
+                truncated = False
+                break
+            if index == max_steps:
+                truncated = True
+                break
+            selection = self._daemon.checked_select(enabled, current, index, self._rng)
+            new_configuration, records = self._protocol.apply(current, selection)
+            selections.append(selection)
+            activations.append(records)
+            configurations.append(new_configuration)
+            current = new_configuration
+
+        return Execution(
+            configurations=configurations,
+            selections=selections,
+            activations=activations,
+            enabled_sets=enabled_sets,
+            truncated=truncated,
+        )
+
+    def run_until_terminal(self, initial: Configuration, max_steps: int) -> Execution:
+        """Run until a terminal configuration; raise if the budget is hit.
+
+        Only meaningful for *silent* protocols (BFS tree, matching) that are
+        guaranteed to terminate; unison/SSME never terminate.
+        """
+        execution = self.run(initial, max_steps)
+        if not execution.is_terminal:
+            raise SimulationError(
+                f"no terminal configuration reached within {max_steps} steps"
+            )
+        return execution
+
+
+def synchronous_execution(
+    protocol: Protocol, initial: Configuration, steps: int
+) -> Execution:
+    """Convenience helper: the (unique) synchronous execution prefix.
+
+    Under the synchronous daemon the execution from a configuration is
+    deterministic, so no seed is needed.
+    """
+    from .daemons import SynchronousDaemon
+
+    simulator = Simulator(protocol, SynchronousDaemon(), rng=random.Random(0))
+    return simulator.run(initial, max_steps=steps)

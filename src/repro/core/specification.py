@@ -1,0 +1,111 @@
+"""Problem specifications.
+
+A *specification* (Section 2) is the set of executions that satisfy a
+problem.  All specifications used in the paper and in this library decompose
+into
+
+* a **safety** predicate evaluated on individual configurations (at most one
+  privileged vertex, legitimate unison configuration, correct BFS distances,
+  valid maximal matching, ...), and
+* a **liveness** condition evaluated on a (finite window of an) execution
+  (every vertex executes its critical section, every clock is incremented,
+  ...; silent tasks have trivial liveness).
+
+Finite traces can only *approximate* liveness; the experiment harness always
+allocates a window long enough to make the approximation meaningful (e.g. a
+full clock period for SSME) and the measurement objects record whether the
+liveness check was even attempted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..exceptions import SpecificationError
+from .execution import Execution
+from .protocol import Protocol
+from .state import Configuration
+
+__all__ = ["Specification", "SilentSpecification"]
+
+
+class Specification(ABC):
+    """Base class of problem specifications."""
+
+    #: Human-readable name ("spec_ME", "spec_AU", ...).
+    name: str = "spec"
+
+    # ------------------------------------------------------------------ #
+    # Safety
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def is_safe(self, configuration: Configuration, protocol: Protocol) -> bool:
+        """Whether ``configuration`` satisfies the safety predicate."""
+
+    def first_unsafe_index(
+        self, execution: Execution, protocol: Protocol, start: int = 0
+    ) -> Optional[int]:
+        """Index of the first unsafe configuration at or after ``start``,
+        or ``None`` when every such configuration is safe."""
+        for index in range(start, execution.steps + 1):
+            if not self.is_safe(execution.configuration(index), protocol):
+                return index
+        return None
+
+    def last_unsafe_index(
+        self, execution: Execution, protocol: Protocol
+    ) -> Optional[int]:
+        """Index of the last unsafe configuration of the trace, or ``None``."""
+        last = None
+        for index in range(execution.steps + 1):
+            if not self.is_safe(execution.configuration(index), protocol):
+                last = index
+        return last
+
+    # ------------------------------------------------------------------ #
+    # Liveness
+    # ------------------------------------------------------------------ #
+    def check_liveness(
+        self, execution: Execution, protocol: Protocol, start: int = 0
+    ) -> bool:
+        """Whether the liveness condition holds on the window starting at
+        configuration ``start``.  The default accepts everything (silent
+        tasks)."""
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Whole-execution check
+    # ------------------------------------------------------------------ #
+    def satisfied_by(
+        self, execution: Execution, protocol: Protocol, start: int = 0
+    ) -> bool:
+        """Whether the suffix of the trace starting at ``start`` satisfies
+        the specification (safety on every configuration + liveness)."""
+        if start < 0 or start > execution.steps:
+            raise SpecificationError(
+                f"start index {start} out of range (0..{execution.steps})"
+            )
+        if self.first_unsafe_index(execution, protocol, start) is not None:
+            return False
+        return self.check_liveness(execution, protocol, start)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SilentSpecification(Specification):
+    """Specification of a *silent* task.
+
+    Silent self-stabilizing tasks (BFS spanning tree, maximal matching)
+    converge to a configuration that is both legitimate and terminal; their
+    safety predicate is "the output encoded in the configuration is
+    correct" and they have no liveness obligation beyond convergence.
+    """
+
+    @abstractmethod
+    def is_legitimate(self, configuration: Configuration, protocol: Protocol) -> bool:
+        """Whether the output encoded by ``configuration`` is correct."""
+
+    def is_safe(self, configuration: Configuration, protocol: Protocol) -> bool:
+        return self.is_legitimate(configuration, protocol)

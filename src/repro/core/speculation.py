@@ -1,0 +1,273 @@
+"""Speculative stabilization (Definition 4) as executable analysis.
+
+A protocol is ``(d, d', f, f')``-speculatively stabilizing when it
+self-stabilizes under the strong daemon ``d`` with stabilization time
+``Θ(f)``, and under the weaker daemon ``d' ≺ d`` its stabilization time is
+``Θ(f')`` with ``f' < f``.  This module measures a protocol's stabilization
+time under a pair of daemons over a family of graphs and checks the
+*shape* of the claim: the bound functions dominate the measurements and the
+weak-daemon measurements are (eventually, and significantly) smaller.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import SimulationError
+from ..graphs import Graph
+from .daemons import Daemon
+from .protocol import Protocol
+from .specification import Specification
+from .state import Configuration
+from .stabilization import WorstCaseStabilization, worst_case_stabilization
+
+__all__ = [
+    "DaemonStabilizationProfile",
+    "SpeculationMeasurement",
+    "SpeculationStudy",
+    "measure_speculation",
+    "run_speculation_study",
+]
+
+
+class DaemonStabilizationProfile:
+    """Stabilization of one protocol instance under one daemon."""
+
+    __slots__ = ("daemon_name", "worst_case", "bound")
+
+    def __init__(
+        self,
+        daemon_name: str,
+        worst_case: WorstCaseStabilization,
+        bound: Optional[float],
+    ) -> None:
+        self.daemon_name = daemon_name
+        self.worst_case = worst_case
+        self.bound = bound
+
+    @property
+    def max_steps(self) -> Optional[int]:
+        """Worst observed stabilization time."""
+        return self.worst_case.max_steps
+
+    @property
+    def within_bound(self) -> Optional[bool]:
+        """Whether every observed stabilization time respects ``bound``."""
+        if self.bound is None or self.max_steps is None:
+            return None
+        return self.max_steps <= self.bound
+
+    def __repr__(self) -> str:
+        return (
+            f"DaemonStabilizationProfile({self.daemon_name!r}, "
+            f"max_steps={self.max_steps}, bound={self.bound})"
+        )
+
+
+class SpeculationMeasurement:
+    """Measurement of Definition 4 on a single graph."""
+
+    __slots__ = ("graph", "strong", "weak")
+
+    def __init__(
+        self,
+        graph: Graph,
+        strong: DaemonStabilizationProfile,
+        weak: DaemonStabilizationProfile,
+    ) -> None:
+        self.graph = graph
+        self.strong = strong
+        self.weak = weak
+
+    @property
+    def speculation_factor(self) -> Optional[float]:
+        """Ratio strong/weak of the observed stabilization times.
+
+        A factor greater than 1 means the weak (speculated-frequent) daemon
+        stabilizes faster, which is the whole point of speculation.  The
+        factor is ``None`` when either measurement failed to stabilize and
+        ``inf`` when the weak side stabilized immediately.
+        """
+        if self.strong.max_steps is None or self.weak.max_steps is None:
+            return None
+        if self.weak.max_steps == 0:
+            return float("inf") if self.strong.max_steps > 0 else 1.0
+        return self.strong.max_steps / self.weak.max_steps
+
+    def __repr__(self) -> str:
+        return (
+            f"SpeculationMeasurement(n={self.graph.n}, "
+            f"strong={self.strong.max_steps}, weak={self.weak.max_steps})"
+        )
+
+
+class SpeculationStudy:
+    """Measurements over a family of graphs plus the Definition 4 verdict."""
+
+    def __init__(self, protocol_name: str, measurements: Sequence[SpeculationMeasurement]):
+        self.protocol_name = protocol_name
+        self.measurements = tuple(measurements)
+
+    @property
+    def all_within_bounds(self) -> bool:
+        """Whether every measurement respects both announced bounds (where
+        bounds were supplied)."""
+        for measurement in self.measurements:
+            for profile in (measurement.strong, measurement.weak):
+                if profile.within_bound is False:
+                    return False
+        return True
+
+    @property
+    def weak_never_slower(self) -> bool:
+        """Whether the weak daemon's observed stabilization never exceeds the
+        strong daemon's on any graph of the study — the observable core of
+        ``f' < f``."""
+        for measurement in self.measurements:
+            strong, weak = measurement.strong.max_steps, measurement.weak.max_steps
+            if strong is None or weak is None:
+                return False
+            if weak > strong:
+                return False
+        return True
+
+    def speculation_factors(self) -> List[Optional[float]]:
+        """Per-graph speculation factors."""
+        return [m.speculation_factor for m in self.measurements]
+
+    def satisfies_definition4(self, min_final_factor: float = 1.0) -> bool:
+        """Empirical verdict for Definition 4.
+
+        Requires (i) every run stabilized, (ii) observed times respect the
+        announced bounds, and (iii) on the largest graph of the study the
+        speculation factor is at least ``min_final_factor`` (callers pass a
+        value > 1 to require a *significant* improvement).
+        """
+        if not self.measurements:
+            return False
+        if not self.all_within_bounds:
+            return False
+        for measurement in self.measurements:
+            if measurement.strong.max_steps is None or measurement.weak.max_steps is None:
+                return False
+        largest = max(self.measurements, key=lambda m: m.graph.n)
+        factor = largest.speculation_factor
+        return factor is not None and factor >= min_final_factor
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Tabular view (one row per graph) for reporting."""
+        rows = []
+        for measurement in self.measurements:
+            rows.append(
+                {
+                    "protocol": self.protocol_name,
+                    "n": measurement.graph.n,
+                    "m": measurement.graph.m,
+                    "strong_daemon": measurement.strong.daemon_name,
+                    "strong_steps": measurement.strong.max_steps,
+                    "strong_bound": measurement.strong.bound,
+                    "weak_daemon": measurement.weak.daemon_name,
+                    "weak_steps": measurement.weak.max_steps,
+                    "weak_bound": measurement.weak.bound,
+                    "speculation_factor": measurement.speculation_factor,
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"SpeculationStudy({self.protocol_name!r}, graphs={len(self.measurements)})"
+        )
+
+
+def measure_speculation(
+    protocol: Protocol,
+    specification: Specification,
+    strong_daemon_factory: Callable[[], Daemon],
+    weak_daemon_factory: Callable[[], Daemon],
+    initial_configurations: Sequence[Configuration],
+    strong_horizon: int,
+    weak_horizon: int,
+    rng: Optional[random.Random] = None,
+    strong_bound: Optional[float] = None,
+    weak_bound: Optional[float] = None,
+    strong_runs_per_configuration: int = 1,
+    weak_runs_per_configuration: int = 1,
+) -> SpeculationMeasurement:
+    """Measure one protocol instance under a strong and a weak daemon."""
+    if not initial_configurations:
+        raise SimulationError("need at least one initial configuration")
+    rng = rng or random.Random(0)
+    strong = worst_case_stabilization(
+        protocol=protocol,
+        daemon_factory=strong_daemon_factory,
+        specification=specification,
+        initial_configurations=initial_configurations,
+        horizon=strong_horizon,
+        rng=random.Random(rng.randrange(2**63)),
+        runs_per_configuration=strong_runs_per_configuration,
+    )
+    weak = worst_case_stabilization(
+        protocol=protocol,
+        daemon_factory=weak_daemon_factory,
+        specification=specification,
+        initial_configurations=initial_configurations,
+        horizon=weak_horizon,
+        rng=random.Random(rng.randrange(2**63)),
+        runs_per_configuration=weak_runs_per_configuration,
+    )
+    strong_name = strong_daemon_factory().name
+    weak_name = weak_daemon_factory().name
+    return SpeculationMeasurement(
+        graph=protocol.graph,
+        strong=DaemonStabilizationProfile(strong_name, strong, strong_bound),
+        weak=DaemonStabilizationProfile(weak_name, weak, weak_bound),
+    )
+
+
+def run_speculation_study(
+    protocol_factory: Callable[[Graph], Protocol],
+    specification_factory: Callable[[Protocol], Specification],
+    graphs: Iterable[Graph],
+    strong_daemon_factory: Callable[[], Daemon],
+    weak_daemon_factory: Callable[[], Daemon],
+    workload: Callable[[Protocol, random.Random], Sequence[Configuration]],
+    strong_horizon: Callable[[Protocol], int],
+    weak_horizon: Callable[[Protocol], int],
+    strong_bound: Optional[Callable[[Protocol], float]] = None,
+    weak_bound: Optional[Callable[[Protocol], float]] = None,
+    rng: Optional[random.Random] = None,
+    strong_runs_per_configuration: int = 1,
+    weak_runs_per_configuration: int = 1,
+) -> SpeculationStudy:
+    """Run a Definition 4 study over a family of graphs.
+
+    All the per-graph knobs (horizons, bounds, workload of initial
+    configurations) are callables of the protocol instance so the study can
+    scale them with ``n`` and ``diam(g)`` the way the paper's bounds do.
+    """
+    rng = rng or random.Random(0)
+    measurements: List[SpeculationMeasurement] = []
+    protocol_name = "?"
+    for graph in graphs:
+        protocol = protocol_factory(graph)
+        protocol_name = protocol.name
+        specification = specification_factory(protocol)
+        initial_configurations = workload(protocol, random.Random(rng.randrange(2**63)))
+        measurement = measure_speculation(
+            protocol=protocol,
+            specification=specification,
+            strong_daemon_factory=strong_daemon_factory,
+            weak_daemon_factory=weak_daemon_factory,
+            initial_configurations=list(initial_configurations),
+            strong_horizon=strong_horizon(protocol),
+            weak_horizon=weak_horizon(protocol),
+            rng=random.Random(rng.randrange(2**63)),
+            strong_bound=strong_bound(protocol) if strong_bound else None,
+            weak_bound=weak_bound(protocol) if weak_bound else None,
+            strong_runs_per_configuration=strong_runs_per_configuration,
+            weak_runs_per_configuration=weak_runs_per_configuration,
+        )
+        measurements.append(measurement)
+    return SpeculationStudy(protocol_name, measurements)

@@ -1,0 +1,210 @@
+"""Measuring stabilization times on simulated executions.
+
+The paper defines the convergence (stabilization) time of a self-stabilizing
+protocol under a daemon as the worst, over the executions allowed by the
+daemon, of the number of actions needed to reach a configuration from which
+every execution satisfies the specification (Definition 3).
+
+On a finite simulated trace we measure the *observed* stabilization point:
+the smallest index ``s`` such that every configuration from ``s`` to the end
+of the trace satisfies the safety predicate (optionally also requiring the
+liveness check to pass on that suffix).  For deterministic daemons
+(synchronous) with a horizon covering the protocol's period this is exact;
+for randomized/adversarial daemons the experiment harness takes the maximum
+over many seeds and initial configurations, which lower-bounds the true
+worst case while every upper-bound theorem must still dominate it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..exceptions import SimulationError
+from .daemons import Daemon
+from .execution import Execution
+from .protocol import Protocol
+from .simulator import Simulator
+from .specification import Specification
+from .state import Configuration
+
+__all__ = [
+    "StabilizationMeasurement",
+    "WorstCaseStabilization",
+    "observed_stabilization_index",
+    "measure_stabilization",
+    "worst_case_stabilization",
+]
+
+
+class StabilizationMeasurement:
+    """Outcome of measuring one execution against a specification."""
+
+    __slots__ = (
+        "stabilization_steps",
+        "stabilized",
+        "liveness_checked",
+        "liveness_ok",
+        "execution_steps",
+        "terminal",
+        "rounds",
+    )
+
+    def __init__(
+        self,
+        stabilization_steps: Optional[int],
+        stabilized: bool,
+        liveness_checked: bool,
+        liveness_ok: Optional[bool],
+        execution_steps: int,
+        terminal: bool,
+        rounds: int,
+    ) -> None:
+        self.stabilization_steps = stabilization_steps
+        self.stabilized = stabilized
+        self.liveness_checked = liveness_checked
+        self.liveness_ok = liveness_ok
+        self.execution_steps = execution_steps
+        self.terminal = terminal
+        self.rounds = rounds
+
+    def __repr__(self) -> str:
+        return (
+            f"StabilizationMeasurement(steps={self.stabilization_steps}, "
+            f"stabilized={self.stabilized}, liveness_ok={self.liveness_ok})"
+        )
+
+
+class WorstCaseStabilization:
+    """Aggregate of stabilization measurements over many runs."""
+
+    __slots__ = ("measurements", "all_stabilized", "all_live")
+
+    def __init__(self, measurements: Sequence[StabilizationMeasurement]) -> None:
+        self.measurements = tuple(measurements)
+        self.all_stabilized = all(m.stabilized for m in self.measurements)
+        checked = [m for m in self.measurements if m.liveness_checked]
+        self.all_live = all(m.liveness_ok for m in checked) if checked else None
+
+    @property
+    def max_steps(self) -> Optional[int]:
+        """The worst observed stabilization time (``None`` if nothing ran)."""
+        steps = [
+            m.stabilization_steps
+            for m in self.measurements
+            if m.stabilization_steps is not None
+        ]
+        return max(steps) if steps else None
+
+    @property
+    def mean_steps(self) -> Optional[float]:
+        """The mean observed stabilization time."""
+        steps = [
+            m.stabilization_steps
+            for m in self.measurements
+            if m.stabilization_steps is not None
+        ]
+        return sum(steps) / len(steps) if steps else None
+
+    @property
+    def max_rounds(self) -> Optional[int]:
+        """Worst observed stabilization expressed in rounds-equivalent
+        (rounds of the whole trace; coarse but monotone)."""
+        rounds = [m.rounds for m in self.measurements]
+        return max(rounds) if rounds else None
+
+    def __repr__(self) -> str:
+        return (
+            f"WorstCaseStabilization(runs={len(self.measurements)}, "
+            f"max_steps={self.max_steps}, all_stabilized={self.all_stabilized})"
+        )
+
+
+def observed_stabilization_index(
+    execution: Execution, specification: Specification, protocol: Protocol
+) -> Optional[int]:
+    """Smallest index ``s`` such that every configuration of the trace from
+    ``s`` onwards is safe, or ``None`` when the final configuration itself
+    is unsafe (the trace never stabilized within its horizon)."""
+    last_unsafe = specification.last_unsafe_index(execution, protocol)
+    if last_unsafe is None:
+        return 0
+    if last_unsafe == execution.steps:
+        return None
+    return last_unsafe + 1
+
+
+def measure_stabilization(
+    protocol: Protocol,
+    daemon: Daemon,
+    initial: Configuration,
+    specification: Specification,
+    horizon: int,
+    rng: Optional[random.Random] = None,
+    check_liveness: bool = False,
+) -> StabilizationMeasurement:
+    """Run one execution and measure its observed stabilization time.
+
+    Parameters
+    ----------
+    horizon:
+        Maximum number of actions to simulate.  For liveness checks the
+        horizon must extend well past the expected stabilization point
+        (e.g. at least one clock period for SSME).
+    check_liveness:
+        When True, the specification's liveness condition is evaluated on
+        the suffix starting at the observed stabilization point.
+    """
+    simulator = Simulator(protocol, daemon, rng=rng or random.Random(0))
+    execution = simulator.run(initial, max_steps=horizon)
+    index = observed_stabilization_index(execution, specification, protocol)
+    stabilized = index is not None
+    liveness_ok: Optional[bool] = None
+    if check_liveness and stabilized:
+        liveness_ok = specification.check_liveness(execution, protocol, index)
+    return StabilizationMeasurement(
+        stabilization_steps=index,
+        stabilized=stabilized,
+        liveness_checked=check_liveness and stabilized,
+        liveness_ok=liveness_ok,
+        execution_steps=execution.steps,
+        terminal=execution.is_terminal,
+        rounds=execution.count_rounds(),
+    )
+
+
+def worst_case_stabilization(
+    protocol: Protocol,
+    daemon_factory: Callable[[], Daemon],
+    specification: Specification,
+    initial_configurations: Iterable[Configuration],
+    horizon: int,
+    rng: Optional[random.Random] = None,
+    check_liveness: bool = False,
+    runs_per_configuration: int = 1,
+) -> WorstCaseStabilization:
+    """Maximize the observed stabilization time over configurations and seeds.
+
+    A fresh daemon is built for each run (so daemons with scheduling memory
+    start clean), and each initial configuration is replayed
+    ``runs_per_configuration`` times with different seeds — only useful for
+    randomized daemons; deterministic daemons produce identical runs.
+    """
+    if runs_per_configuration < 1:
+        raise SimulationError("runs_per_configuration must be >= 1")
+    rng = rng or random.Random(0)
+    measurements: List[StabilizationMeasurement] = []
+    for initial in initial_configurations:
+        for _ in range(runs_per_configuration):
+            seed = rng.randrange(2**63)
+            measurement = measure_stabilization(
+                protocol=protocol,
+                daemon=daemon_factory(),
+                initial=initial,
+                specification=specification,
+                horizon=horizon,
+                rng=random.Random(seed),
+                check_liveness=check_liveness,
+            )
+            measurements.append(measurement)
+    return WorstCaseStabilization(measurements)

@@ -1,0 +1,107 @@
+"""Configurations: immutable global states of the distributed system.
+
+A *configuration* assigns a local state to every vertex of the communication
+graph (Section 2 of the paper).  Configurations are immutable and hashable
+(provided vertex states are hashable), which lets the simulator detect
+terminal configurations, cache enabled sets, and compare configurations for
+the lower-bound splicing construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from ..exceptions import SimulationError
+from ..types import VertexId, VertexStateLike
+
+__all__ = ["Configuration"]
+
+
+class Configuration(Mapping[VertexId, VertexStateLike]):
+    """An immutable mapping from vertices to their local states.
+
+    Examples
+    --------
+    >>> gamma = Configuration({0: 1, 1: 5})
+    >>> gamma[0]
+    1
+    >>> gamma.updated({0: 2})[0]
+    2
+    """
+
+    __slots__ = ("_states", "_hash")
+
+    def __init__(self, states: Mapping[VertexId, VertexStateLike]):
+        self._states: Dict[VertexId, VertexStateLike] = dict(states)
+        self._hash = None
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, vertex: VertexId) -> VertexStateLike:
+        try:
+            return self._states[vertex]
+        except KeyError:
+            raise SimulationError(f"configuration has no state for vertex {vertex!r}") from None
+
+    def __iter__(self) -> Iterator[VertexId]:
+        return iter(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._states
+
+    # -- Value semantics ----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Configuration):
+            return self._states == other._states
+        if isinstance(other, Mapping):
+            return self._states == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._states.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v!r}: {s!r}" for v, s in sorted(self._states.items(), key=lambda kv: repr(kv[0])))
+        return f"Configuration({{{inner}}})"
+
+    # -- Functional updates ---------------------------------------------------
+    def updated(self, changes: Mapping[VertexId, VertexStateLike]) -> "Configuration":
+        """A new configuration with the states of ``changes`` replaced.
+
+        Every key of ``changes`` must already be a vertex of the
+        configuration (a configuration never gains or loses vertices).
+        """
+        for vertex in changes:
+            if vertex not in self._states:
+                raise SimulationError(f"cannot update unknown vertex {vertex!r}")
+        merged = dict(self._states)
+        merged.update(changes)
+        return Configuration(merged)
+
+    def restrict(self, vertices: Iterable[VertexId]) -> "Configuration":
+        """The restriction of the configuration to ``vertices``.
+
+        This is the ``k``-local state of Definition 7 once ``vertices`` is a
+        ball of the communication graph.
+        """
+        vertices = list(vertices)
+        missing = [v for v in vertices if v not in self._states]
+        if missing:
+            raise SimulationError(f"unknown vertices in restriction: {missing!r}")
+        return Configuration({v: self._states[v] for v in vertices})
+
+    def differing_vertices(self, other: "Configuration") -> Tuple[VertexId, ...]:
+        """Vertices whose states differ between ``self`` and ``other``."""
+        if set(self._states) != set(other._states):
+            raise SimulationError("configurations are over different vertex sets")
+        return tuple(
+            v for v in self._states if self._states[v] != other._states[v]
+        )
+
+    def as_dict(self) -> Dict[VertexId, VertexStateLike]:
+        """A mutable copy of the underlying mapping."""
+        return dict(self._states)

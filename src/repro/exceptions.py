@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so that
+callers can catch library-specific failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class GraphError(ReproError):
+    """Raised when a communication graph is malformed or an operation on it
+    receives invalid arguments (unknown vertex, self-loop, ...)."""
+
+
+class ClockError(ReproError):
+    """Raised when a bounded-clock value or parameter is invalid (value
+    outside ``cherry(alpha, K)``, non-positive ``alpha``, ``K < 2``, ...)."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol is mis-configured (e.g. identifier set is not
+    ``{0, ..., n-1}``) or a rule produces an invalid state."""
+
+
+class DaemonError(ReproError):
+    """Raised when a daemon makes an illegal selection (empty set while
+    vertices are enabled, selecting a disabled vertex, ...)."""
+
+
+class SimulationError(ReproError):
+    """Raised when an execution cannot be carried out (horizon exhausted
+    while a result was required, inconsistent configuration, ...)."""
+
+
+class SpecificationError(ReproError):
+    """Raised when a specification check receives an execution it cannot
+    evaluate (e.g. empty trace)."""
+
+
+class ConstructionError(ReproError):
+    """Raised by the lower-bound machinery when the splicing construction of
+    Theorem 4 cannot be applied (balls overlap, no privileged step found,
+    ...)."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness on invalid experiment parameters."""

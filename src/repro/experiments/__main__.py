@@ -1,0 +1,53 @@
+"""Command-line entry point: regenerate the full paper-vs-measured report.
+
+Usage::
+
+    python -m repro.experiments                 # run every experiment, print the report
+    python -m repro.experiments E3 E5           # run a subset
+    python -m repro.experiments --write PATH    # also write the Markdown report to PATH
+                                                # (use EXPERIMENTS.md at the repo root)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .reporting import EXPERIMENT_DRIVERS, render_experiments_markdown, run_all_experiments
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables, figures and theorem checks.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=list(EXPERIMENT_DRIVERS) + [[]],
+        help="experiment ids to run (default: all of E1..E6)",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        default=None,
+        help="write the Markdown report (EXPERIMENTS.md format) to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    selected: Optional[List[str]] = list(args.experiments) or None
+    reports = run_all_experiments(only=selected)
+    for report in reports:
+        print(report.to_text())
+        print()
+    if args.write:
+        markdown = render_experiments_markdown(reports)
+        with open(args.write, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.write}")
+    return 0 if all(report.passed for report in reports) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

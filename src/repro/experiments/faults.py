@@ -1,0 +1,117 @@
+"""Structured transient-fault models.
+
+Self-stabilization quantifies over *arbitrary* initial configurations, but
+real deployments care about specific fault shapes: how fast does the system
+recover from one corrupted node, from a localized burst (a rack losing
+power), or from a bounded clock skew?  These helpers derive faulted
+configurations from a base configuration under named fault models, so the
+examples and experiments can report recovery times per fault class rather
+than only for the fully adversarial case.
+
+Every model is a pure function ``(protocol, base, rng) -> Configuration``
+and registered in :data:`FAULT_MODELS`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..core import Protocol
+from ..core.state import Configuration
+from ..exceptions import ExperimentError
+from ..graphs import diameter
+from ..types import VertexId
+
+__all__ = [
+    "single_vertex_fault",
+    "localized_burst_fault",
+    "global_fault",
+    "clock_skew_fault",
+    "FAULT_MODELS",
+    "apply_fault",
+]
+
+
+def single_vertex_fault(
+    protocol: Protocol, base: Configuration, rng: random.Random
+) -> Configuration:
+    """Corrupt the state of one uniformly chosen vertex."""
+    vertex = rng.choice(sorted(protocol.graph.vertices, key=repr))
+    return base.updated({vertex: protocol.random_state(vertex, rng)})
+
+
+def localized_burst_fault(
+    protocol: Protocol,
+    base: Configuration,
+    rng: random.Random,
+    radius: Optional[int] = None,
+) -> Configuration:
+    """Corrupt every vertex within ``radius`` hops of a random epicentre.
+
+    Models a rack/region failure: the corruption is spatially correlated.
+    The default radius is a quarter of the diameter (at least 1).
+    """
+    graph = protocol.graph
+    if radius is None:
+        radius = max(1, diameter(graph) // 4)
+    epicentre = rng.choice(sorted(graph.vertices, key=repr))
+    ball = graph.ball(epicentre, radius)
+    return base.updated({v: protocol.random_state(v, rng) for v in ball})
+
+
+def global_fault(
+    protocol: Protocol, base: Configuration, rng: random.Random
+) -> Configuration:
+    """Corrupt every vertex: the fully adversarial transient fault."""
+    del base
+    return protocol.random_configuration(rng)
+
+
+def clock_skew_fault(
+    protocol: Protocol,
+    base: Configuration,
+    rng: random.Random,
+    max_skew: int = 3,
+) -> Configuration:
+    """Advance each register by a random number of ``phi`` applications.
+
+    Only meaningful for clock-based protocols (unison, SSME): it models
+    nodes that kept running while disconnected and drifted ahead.  For
+    protocols without a ``clock`` attribute the model degrades to a
+    :func:`single_vertex_fault`.
+    """
+    clock = getattr(protocol, "clock", None)
+    if clock is None:
+        return single_vertex_fault(protocol, base, rng)
+    if max_skew < 0:
+        raise ExperimentError("max_skew must be non-negative")
+    changes = {
+        v: clock.increment(base[v], rng.randrange(max_skew + 1))
+        for v in protocol.graph.vertices
+    }
+    return base.updated(changes)
+
+
+#: Named fault models usable by experiments and examples.
+FAULT_MODELS: Dict[str, Callable[[Protocol, Configuration, random.Random], Configuration]] = {
+    "single-vertex": single_vertex_fault,
+    "localized-burst": localized_burst_fault,
+    "global": global_fault,
+    "clock-skew": clock_skew_fault,
+}
+
+
+def apply_fault(
+    name: str,
+    protocol: Protocol,
+    base: Configuration,
+    rng: random.Random,
+) -> Configuration:
+    """Apply the named fault model to ``base``."""
+    try:
+        model = FAULT_MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_MODELS))
+        raise ExperimentError(f"unknown fault model {name!r}; known: {known}") from None
+    return model(protocol, base, rng)

@@ -1,0 +1,70 @@
+"""Assembling the full paper-vs-measured report.
+
+``run_all_experiments`` executes every experiment driver (E1–E6) and
+``render_experiments_markdown`` turns the reports into the Markdown document
+stored as ``EXPERIMENTS.md`` at the repository root.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import (
+    ablation_privilege_spacing,
+    dijkstra_comparison,
+    figure1_clock,
+    table_speculative_examples,
+    theorem2_sync_upper,
+    theorem3_async_upper,
+    theorem4_lower_bound,
+)
+from .runner import ExperimentReport
+
+__all__ = ["EXPERIMENT_DRIVERS", "run_all_experiments", "render_experiments_markdown"]
+
+#: The experiment drivers in presentation order.  E1–E6 reproduce paper
+#: artefacts; E7 is the ablation of the clock-size design choice.
+EXPERIMENT_DRIVERS: Dict[str, Callable[[], ExperimentReport]] = {
+    "E1": figure1_clock.run_experiment,
+    "E2": table_speculative_examples.run_experiment,
+    "E3": theorem2_sync_upper.run_experiment,
+    "E4": theorem3_async_upper.run_experiment,
+    "E5": theorem4_lower_bound.run_experiment,
+    "E6": dijkstra_comparison.run_experiment,
+    "E7": ablation_privilege_spacing.run_experiment,
+}
+
+
+def run_all_experiments(
+    only: Optional[Sequence[str]] = None,
+) -> List[ExperimentReport]:
+    """Run every experiment driver (or the subset named in ``only``)."""
+    selected = list(only) if only is not None else list(EXPERIMENT_DRIVERS)
+    reports = []
+    for experiment_id in selected:
+        driver = EXPERIMENT_DRIVERS[experiment_id]
+        reports.append(driver())
+    return reports
+
+
+def render_experiments_markdown(reports: Sequence[ExperimentReport]) -> str:
+    """Render reports as the EXPERIMENTS.md document."""
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Reproduction of *Introducing Speculation in Self-Stabilization: An "
+        "Application to Mutual Exclusion* (Dubois & Guerraoui, PODC 2013).",
+        "",
+        "Each section reproduces one artefact of the paper (see DESIGN.md §3 "
+        "for the experiment index).  Regenerate any section with the matching "
+        "benchmark under `benchmarks/`, e.g. "
+        "`pytest benchmarks/bench_theorem2_sync_upper.py --benchmark-only -s`.",
+        "",
+    ]
+    for report in reports:
+        lines.append(report.to_markdown())
+        lines.append("")
+    overall = all(report.passed for report in reports)
+    lines.append(f"**Overall:** {'all experiments PASS' if overall else 'some experiments FAIL'}")
+    lines.append("")
+    return "\n".join(lines)

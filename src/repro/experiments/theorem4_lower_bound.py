@@ -1,0 +1,132 @@
+"""E5 — Theorem 4: the ``⌈diam(g)/2⌉`` synchronous lower bound.
+
+Theorem 4 is a negative result, so it cannot be "measured" by running a
+protocol; instead we *execute its proof*.  For every delay
+``t < ⌈diam(g)/2⌉`` the splicing construction
+(:func:`repro.lowerbound.construct_double_privilege_witness`) builds an
+initial configuration from which the synchronous execution still has two
+simultaneously privileged vertices at step ``t``.  A successful witness at
+delay ``t`` certifies that no execution-prefix shorter than ``t + 1`` steps
+can be safe for every initial configuration — i.e. the stabilization time is
+at least ``t + 1``.  Witnesses at every ``t`` up to ``⌈diam/2⌉ - 1``
+therefore certify the full lower bound, and combined with E3 they show the
+bound is *exactly* ``⌈diam/2⌉`` for SSME (optimality).
+
+The construction is applied to SSME on several topologies and, as a sanity
+check that it is protocol-agnostic, to Dijkstra's token ring.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graphs import diameter, make_topology, ring_graph
+from ..lowerbound import lower_bound_profile
+from ..mutex import SSME, DijkstraTokenRing
+from .runner import ExperimentReport
+
+__all__ = ["run_experiment", "DEFAULT_SWEEP", "EXPERIMENT_ID"]
+
+EXPERIMENT_ID = "E5"
+
+#: Default (topology, size) sweep for the SSME witnesses.
+DEFAULT_SWEEP: Tuple[Tuple[str, int], ...] = (
+    ("ring", 8),
+    ("ring", 12),
+    ("path", 9),
+    ("path", 13),
+    ("grid", 16),
+    ("binary_tree", 15),
+    ("random", 14),
+)
+
+#: Ring sizes for the Dijkstra cross-check (privilege radius 1 shrinks the
+#: admissible delays, so use rings with a comfortable diameter).
+DEFAULT_DIJKSTRA_RINGS: Tuple[int, ...] = (10, 14)
+
+
+def run_experiment(
+    sweep: Optional[Sequence[Tuple[str, int]]] = None,
+    dijkstra_rings: Optional[Sequence[int]] = None,
+) -> ExperimentReport:
+    """Execute the Theorem 4 construction across topologies and protocols."""
+    sweep = list(sweep) if sweep is not None else list(DEFAULT_SWEEP)
+    dijkstra_rings = (
+        list(dijkstra_rings) if dijkstra_rings is not None else list(DEFAULT_DIJKSTRA_RINGS)
+    )
+    rows: List[Dict[str, object]] = []
+    all_certified = True
+
+    for topology, size in sweep:
+        graph = make_topology(topology, size)
+        protocol = SSME(graph)
+        bound = math.ceil(protocol.diam / 2)
+        witnesses = lower_bound_profile(protocol)
+        successes = sum(1 for w in witnesses if w.success)
+        certified = successes == len(witnesses) == bound
+        all_certified = all_certified and certified
+        rows.append(
+            {
+                "protocol": "SSME",
+                "topology": topology,
+                "n": graph.n,
+                "diam": protocol.diam,
+                "bound_ceil_diam_over_2": bound,
+                "delays_tested": len(witnesses),
+                "witnesses_found": successes,
+                "certified_lower_bound": successes,
+                "lower_bound_certified": certified,
+            }
+        )
+
+    for size in dijkstra_rings:
+        graph = ring_graph(size)
+        protocol = DijkstraTokenRing(graph)
+        diam = diameter(graph)
+        bound = math.ceil(diam / 2)
+        # Dijkstra's privilege predicate also reads the predecessor, so the
+        # patched balls are one hop larger and the largest admissible delay
+        # is capped by 2(t + 1) < diam as well as by the bound itself.
+        max_delay = min(bound - 1, (diam - 1) // 2 - 1)
+        delays = list(range(max_delay + 1)) if max_delay >= 0 else []
+        witnesses = lower_bound_profile(protocol, ts=delays, privilege_radius=1)
+        successes = sum(1 for w in witnesses if w.success)
+        certified = successes == len(witnesses) and bool(witnesses)
+        all_certified = all_certified and certified
+        rows.append(
+            {
+                "protocol": "Dijkstra",
+                "topology": "ring",
+                "n": graph.n,
+                "diam": diam,
+                "bound_ceil_diam_over_2": bound,
+                "delays_tested": len(witnesses),
+                "witnesses_found": successes,
+                "certified_lower_bound": successes,
+                "lower_bound_certified": certified,
+            }
+        )
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title="Theorem 4 — synchronous lower bound via the splicing construction",
+        paper_claim=(
+            "every self-stabilizing mutual-exclusion protocol has "
+            "conv_time(π, sd) >= ceil(diam(g)/2); with Theorem 2 this makes "
+            "SSME optimal"
+        ),
+        rows=rows,
+        summary={"lower_bound_certified_everywhere": all_certified},
+        passed=all_certified,
+        notes=[
+            "Each witness is the explicit spliced configuration of the proof; "
+            "'witnesses_found' counts delays t for which two vertices are "
+            "simultaneously privileged after exactly t synchronous steps.",
+            "For SSME the certified delay range covers every t < ceil(diam/2), "
+            "matching the E3 measurement and establishing optimality.",
+            "For Dijkstra's ring the privilege predicate reads the ring "
+            "predecessor, so witnesses are built with one extra hop of patched "
+            "state and cover a slightly smaller delay range.",
+        ],
+    )

@@ -1,0 +1,82 @@
+"""Workloads: initial-configuration generators for the experiments.
+
+Self-stabilization experiments need *initial configurations that matter*.
+Transient faults can leave the system in any configuration, so the paper's
+worst-case bounds quantify over all of them; purely random configurations,
+however, almost never realize the worst case of the mutual-exclusion bounds
+(they essentially never plant two privileged clock values).  The experiment
+harness therefore mixes three families:
+
+* arbitrary random configurations (the plain fault model),
+* perturbations of a legitimate configuration (small-scale faults),
+* adversarial configurations produced by the Theorem 4 splicing
+  construction (the worst configurations the theory allows).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from ..core import Protocol
+from ..core.state import Configuration
+from ..exceptions import ExperimentError
+from ..lowerbound import adversarial_mutex_configurations
+
+__all__ = [
+    "random_configurations",
+    "perturbed_configurations",
+    "mutex_workload",
+]
+
+
+def random_configurations(
+    protocol: Protocol, count: int, rng: random.Random
+) -> List[Configuration]:
+    """``count`` arbitrary configurations of the protocol."""
+    if count < 0:
+        raise ExperimentError("count must be non-negative")
+    return [protocol.random_configuration(rng) for _ in range(count)]
+
+
+def perturbed_configurations(
+    protocol: Protocol,
+    base: Configuration,
+    count: int,
+    rng: random.Random,
+    corrupted_vertices: int = 1,
+) -> List[Configuration]:
+    """Configurations obtained from ``base`` by corrupting a few vertices.
+
+    Each configuration redraws the state of ``corrupted_vertices`` randomly
+    chosen vertices through the protocol's ``random_state`` — the classic
+    "small transient fault" workload.
+    """
+    if count < 0:
+        raise ExperimentError("count must be non-negative")
+    if corrupted_vertices < 0:
+        raise ExperimentError("corrupted_vertices must be non-negative")
+    vertices = list(protocol.graph.vertices)
+    corrupted_vertices = min(corrupted_vertices, len(vertices))
+    result: List[Configuration] = []
+    for _ in range(count):
+        targets = rng.sample(vertices, corrupted_vertices) if corrupted_vertices else []
+        changes = {v: protocol.random_state(v, rng) for v in targets}
+        result.append(base.updated(changes) if changes else base)
+    return result
+
+
+def mutex_workload(
+    protocol: Protocol,
+    rng: random.Random,
+    random_count: int = 10,
+    include_spliced: bool = True,
+) -> List[Configuration]:
+    """The standard mutual-exclusion workload: random + adversarial
+    configurations (see :func:`repro.lowerbound.adversarial_mutex_configurations`)."""
+    return adversarial_mutex_configurations(
+        protocol,
+        rng,
+        random_count=random_count,
+        include_spliced=include_spliced,
+    )

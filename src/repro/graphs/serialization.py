@@ -1,0 +1,79 @@
+"""Serialization helpers for communication graphs.
+
+Experiments record the topology they ran on; these helpers convert graphs to
+and from plain dictionaries (JSON-friendly), edge lists, and Graphviz DOT
+text for quick visual inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..exceptions import GraphError
+from ..types import VertexId
+from .graph import Graph
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "graph_to_edge_list",
+    "graph_from_edge_list",
+    "graph_to_dot",
+    "adjacency_matrix",
+]
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, List]:
+    """A JSON-friendly representation ``{"vertices": [...], "edges": [...]}."``"""
+    return {
+        "vertices": list(graph.vertices),
+        "edges": [list(edge) for edge in sorted(graph.edges, key=repr)],
+    }
+
+
+def graph_from_dict(data: Mapping[str, Sequence]) -> Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    try:
+        vertices = data["vertices"]
+        edges = data["edges"]
+    except KeyError as exc:
+        raise GraphError(f"missing key {exc.args[0]!r} in graph dict") from None
+    return Graph(vertices, [tuple(edge) for edge in edges])
+
+
+def graph_to_edge_list(graph: Graph) -> List[Tuple[VertexId, VertexId]]:
+    """The edges as a sorted list of pairs (isolated vertices are lost)."""
+    return sorted(graph.edges, key=repr)
+
+
+def graph_from_edge_list(edges: Sequence[Tuple[VertexId, VertexId]]) -> Graph:
+    """Build a graph whose vertex set is exactly the endpoints of ``edges``."""
+    vertices: List[VertexId] = []
+    seen = set()
+    for u, v in edges:
+        for x in (u, v):
+            if x not in seen:
+                seen.add(x)
+                vertices.append(x)
+    return Graph(vertices, edges)
+
+
+def graph_to_dot(graph: Graph, name: str = "g") -> str:
+    """A Graphviz DOT rendering of the graph (undirected)."""
+    lines = [f"graph {name} {{"]
+    for v in graph.vertices:
+        lines.append(f'    "{v}";')
+    for u, v in sorted(graph.edges, key=repr):
+        lines.append(f'    "{u}" -- "{v}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def adjacency_matrix(graph: Graph) -> List[List[int]]:
+    """A dense 0/1 adjacency matrix in ``graph.vertices`` order."""
+    index = {v: i for i, v in enumerate(graph.vertices)}
+    matrix = [[0] * graph.n for _ in range(graph.n)]
+    for u, v in graph.edges:
+        matrix[index[u]][index[v]] = 1
+        matrix[index[v]][index[u]] = 1
+    return matrix

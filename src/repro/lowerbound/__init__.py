@@ -1,0 +1,31 @@
+"""Lower-bound machinery (Theorem 4) and adversarial workloads."""
+
+from .construction import (
+    DoublePrivilegeWitness,
+    check_local_indistinguishability,
+    construct_double_privilege_witness,
+    find_privileged_step,
+    local_state,
+    local_states_equal,
+    lower_bound_profile,
+    splice_configurations,
+)
+from .witness import (
+    adversarial_mutex_configurations,
+    immediate_double_privilege_configuration,
+    latest_violation_configuration,
+)
+
+__all__ = [
+    "DoublePrivilegeWitness",
+    "adversarial_mutex_configurations",
+    "check_local_indistinguishability",
+    "construct_double_privilege_witness",
+    "find_privileged_step",
+    "immediate_double_privilege_configuration",
+    "latest_violation_configuration",
+    "local_state",
+    "local_states_equal",
+    "lower_bound_profile",
+    "splice_configurations",
+]

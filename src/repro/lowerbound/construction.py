@@ -1,0 +1,313 @@
+"""The Theorem 4 lower-bound construction.
+
+Theorem 4 states that *any* self-stabilizing mutual-exclusion protocol needs
+at least ``⌈diam(g)/2⌉`` synchronous steps to stabilize.  The proof is an
+indistinguishability argument:
+
+1. take two vertices ``u`` and ``v`` at distance ``diam(g)``;
+2. run the synchronous execution from an arbitrary configuration until
+   ``u`` is privileged at some step ``i > t`` and ``v`` at some ``j > t``
+   (liveness guarantees both);
+3. build a new configuration ``γ'₀`` that copies the ``t``-local state of
+   ``u`` from ``γ_{i-t}`` and the ``t``-local state of ``v`` from
+   ``γ_{j-t}`` — possible whenever the two balls are disjoint, which holds
+   for every ``t < ⌈diam(g)/2⌉``;
+4. by Lemma 5 (a vertex cannot learn anything farther than ``k`` hops in
+   ``k`` synchronous steps), ``u`` and ``v`` behave in the spliced execution
+   exactly as they did in the original ones, so both are privileged at step
+   ``t`` — a safety violation ``t`` steps after the start.
+
+This module implements the construction *executably* for any
+privilege-aware protocol: it returns the spliced configuration and verifies
+the double privilege by simulation.  Applied to SSME it demonstrates that
+the Theorem 2 upper bound is tight; applied to any other candidate protocol
+it produces a concrete counter-example to any claimed sub-``⌈diam/2⌉``
+stabilization time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import Execution, PrivilegeAware, Protocol, synchronous_execution
+from ..core.state import Configuration
+from ..exceptions import ConstructionError
+from ..graphs import Graph, diameter, diameter_endpoints
+from ..types import VertexId
+
+__all__ = [
+    "local_state",
+    "local_states_equal",
+    "check_local_indistinguishability",
+    "splice_configurations",
+    "find_privileged_step",
+    "DoublePrivilegeWitness",
+    "construct_double_privilege_witness",
+    "lower_bound_profile",
+]
+
+
+def local_state(
+    configuration: Configuration, graph: Graph, vertex: VertexId, k: int
+) -> Configuration:
+    """The ``k``-local state ``γ_{v,k}`` of Definition 7: the restriction of
+    the configuration to the ball of radius ``k`` around ``vertex``."""
+    return configuration.restrict(sorted(graph.ball(vertex, k), key=repr))
+
+
+def local_states_equal(
+    gamma: Configuration,
+    gamma_prime: Configuration,
+    graph: Graph,
+    vertex: VertexId,
+    k: int,
+) -> bool:
+    """Whether ``γ_{v,k} = γ'_{v,k}``."""
+    ball = graph.ball(vertex, k)
+    return all(gamma[w] == gamma_prime[w] for w in ball)
+
+
+def check_local_indistinguishability(
+    protocol: Protocol,
+    gamma: Configuration,
+    gamma_prime: Configuration,
+    vertex: VertexId,
+    k: int,
+) -> bool:
+    """Executable Lemma 5: if ``γ_{v,k} = γ'_{v,k}`` then the restrictions to
+    ``v`` of the length-``k`` prefixes of the synchronous executions from
+    ``γ`` and ``γ'`` coincide.
+
+    Returns True when the conclusion holds (and raises
+    :class:`ConstructionError` if the premise is violated, because then the
+    check is meaningless).
+    """
+    graph = protocol.graph
+    if not local_states_equal(gamma, gamma_prime, graph, vertex, k):
+        raise ConstructionError(
+            "the two configurations do not agree on the k-local state of the vertex"
+        )
+    execution = synchronous_execution(protocol, gamma, k)
+    execution_prime = synchronous_execution(protocol, gamma_prime, k)
+    restriction = execution.restriction(vertex)[: k + 1]
+    restriction_prime = execution_prime.restriction(vertex)[: k + 1]
+    return restriction == restriction_prime
+
+
+def splice_configurations(
+    graph: Graph,
+    patches: Sequence[Tuple[VertexId, int, Configuration]],
+    filler: Configuration,
+) -> Configuration:
+    """Build a configuration from ``filler`` by copying, for each
+    ``(vertex, radius, source)`` patch, the ``radius``-local state of
+    ``vertex`` out of ``source``.
+
+    The patched balls must be pairwise disjoint, otherwise the construction
+    is ambiguous and a :class:`ConstructionError` is raised.
+    """
+    assignment = filler.as_dict()
+    claimed: Dict[VertexId, VertexId] = {}
+    for center, radius, source in patches:
+        ball = graph.ball(center, radius)
+        for w in ball:
+            if w in claimed and claimed[w] != center:
+                raise ConstructionError(
+                    f"balls of {claimed[w]!r} and {center!r} overlap at {w!r}; "
+                    "the splicing construction requires disjoint balls"
+                )
+            claimed[w] = center
+            assignment[w] = source[w]
+    return Configuration(assignment)
+
+
+def find_privileged_step(
+    protocol: Protocol,
+    execution: Execution,
+    vertex: VertexId,
+    after: int,
+) -> Optional[int]:
+    """The first index ``i > after`` at which ``vertex`` is privileged in
+    ``execution``, or ``None``."""
+    if not isinstance(protocol, PrivilegeAware):
+        raise ConstructionError("the protocol does not define a privilege predicate")
+    for index in range(after + 1, execution.steps + 1):
+        if protocol.is_privileged(execution.configuration(index), vertex):
+            return index
+    return None
+
+
+class DoublePrivilegeWitness:
+    """Result of the Theorem 4 construction for one value of ``t``."""
+
+    __slots__ = (
+        "t",
+        "vertex_u",
+        "vertex_v",
+        "initial_configuration",
+        "privileged_at_t",
+        "success",
+    )
+
+    def __init__(
+        self,
+        t: int,
+        vertex_u: VertexId,
+        vertex_v: VertexId,
+        initial_configuration: Configuration,
+        privileged_at_t: Tuple[VertexId, ...],
+        success: bool,
+    ) -> None:
+        self.t = t
+        self.vertex_u = vertex_u
+        self.vertex_v = vertex_v
+        self.initial_configuration = initial_configuration
+        self.privileged_at_t = privileged_at_t
+        self.success = success
+
+    def __repr__(self) -> str:
+        return (
+            f"DoublePrivilegeWitness(t={self.t}, u={self.vertex_u!r}, "
+            f"v={self.vertex_v!r}, success={self.success})"
+        )
+
+
+def construct_double_privilege_witness(
+    protocol: Protocol,
+    t: int,
+    base_configuration: Optional[Configuration] = None,
+    horizon: Optional[int] = None,
+    endpoints: Optional[Tuple[VertexId, VertexId]] = None,
+    privilege_radius: int = 0,
+) -> DoublePrivilegeWitness:
+    """Run the Theorem 4 construction for delay ``t``.
+
+    Parameters
+    ----------
+    protocol:
+        A privilege-aware protocol (SSME, Dijkstra's ring, ...).
+    t:
+        The candidate stabilization time to refute; must satisfy
+        ``t < ⌈diam(g)/2⌉`` (otherwise the two balls may overlap and the
+        construction does not apply).
+    base_configuration:
+        The configuration ``γ₀`` whose synchronous execution supplies the
+        spliced local states.  Defaults to the protocol's default (clean)
+        configuration, whose execution is guaranteed to visit privileges of
+        every vertex.
+    horizon:
+        How far to unroll the base execution while looking for privileged
+        steps of the two endpoints.  Defaults to a protocol-specific guess
+        (a couple of clock periods for SSME-like protocols).
+    endpoints:
+        The pair ``(u, v)``; defaults to a diametral pair.
+    privilege_radius:
+        How far the privilege predicate of the protocol looks: 0 when it
+        only reads the vertex's own state (SSME), 1 when it also reads the
+        neighbours' states (Dijkstra's token ring).  The spliced balls are
+        enlarged by this amount so that the predicate is still determined by
+        the patched region after ``t`` steps.
+
+    Returns a witness whose ``success`` flag says whether the spliced
+    configuration indeed exhibits two privileged vertices after exactly
+    ``t`` synchronous steps (it always does for correct mutual-exclusion
+    protocols, by Lemma 5).
+    """
+    if not isinstance(protocol, PrivilegeAware):
+        raise ConstructionError("the protocol does not define a privilege predicate")
+    if privilege_radius < 0:
+        raise ConstructionError("privilege_radius must be non-negative")
+    graph = protocol.graph
+    diam = diameter(graph)
+    if diam == 0:
+        raise ConstructionError("the lower bound is vacuous on a single-vertex graph")
+    if t < 0:
+        raise ConstructionError("t must be non-negative")
+    patch_radius = t + privilege_radius
+    if 2 * t >= diam:
+        raise ConstructionError(
+            f"t={t} does not satisfy 2t < diam(g)={diam}; the balls would overlap"
+        )
+    u, v = endpoints if endpoints is not None else diameter_endpoints(graph)
+    if graph.distance(u, v) < 2 * patch_radius + 1:
+        raise ConstructionError(
+            f"endpoints {u!r}, {v!r} are too close for t={t} with "
+            f"privilege_radius={privilege_radius}"
+        )
+    base = base_configuration if base_configuration is not None else protocol.default_configuration()
+    if horizon is None:
+        horizon = _default_privilege_horizon(protocol)
+    execution = synchronous_execution(protocol, base, horizon)
+
+    i = find_privileged_step(protocol, execution, u, after=t)
+    j = find_privileged_step(protocol, execution, v, after=t)
+    if i is None or j is None:
+        raise ConstructionError(
+            "the base synchronous execution never privileges both endpoints "
+            f"within {horizon} steps; increase the horizon"
+        )
+
+    spliced = splice_configurations(
+        graph,
+        patches=[
+            (u, patch_radius, execution.configuration(i - t)),
+            (v, patch_radius, execution.configuration(j - t)),
+        ],
+        filler=execution.configuration(i - t),
+    )
+    check = synchronous_execution(protocol, spliced, t)
+    final = check.configuration(t)
+    privileged = tuple(
+        sorted(
+            (w for w in (u, v) if protocol.is_privileged(final, w)),
+            key=repr,
+        )
+    )
+    return DoublePrivilegeWitness(
+        t=t,
+        vertex_u=u,
+        vertex_v=v,
+        initial_configuration=spliced,
+        privileged_at_t=privileged,
+        success=len(privileged) == 2,
+    )
+
+
+def _default_privilege_horizon(protocol: Protocol) -> int:
+    """A horizon long enough for the default synchronous execution to
+    privilege every vertex at least once."""
+    clock = getattr(protocol, "clock", None)
+    if clock is not None:
+        return clock.K + clock.alpha + 4
+    K = getattr(protocol, "K", None)
+    if isinstance(K, int):
+        return K * protocol.graph.n + 4
+    return 4 * protocol.graph.n * protocol.graph.n + 4
+
+
+def lower_bound_profile(
+    protocol: Protocol,
+    ts: Optional[Sequence[int]] = None,
+    privilege_radius: int = 0,
+) -> List[DoublePrivilegeWitness]:
+    """Run the construction for every ``t`` in ``ts`` (default: every value
+    from 0 to ``⌈diam/2⌉ - 1``) and return the witnesses.
+
+    A protocol whose synchronous stabilization time were smaller than
+    ``⌈diam/2⌉`` would have to survive all of these; a successful witness at
+    delay ``t`` certifies that the stabilization time exceeds ``t``.
+    """
+    diam = diameter(protocol.graph)
+    bound = math.ceil(diam / 2)
+    if ts is None:
+        ts = range(bound)
+    witnesses = []
+    for t in ts:
+        witnesses.append(
+            construct_double_privilege_witness(
+                protocol, t, privilege_radius=privilege_radius
+            )
+        )
+    return witnesses

@@ -1,0 +1,109 @@
+"""Adversarial initial configurations derived from the lower-bound argument.
+
+Random initial configurations almost never place two vertices on privileged
+clock values simultaneously, so they do not exercise the interesting part of
+Theorem 2: measured stabilization times stay at 0.  The workloads below
+create the worst configurations the theorem allows — configurations from
+which the last safety violation happens as late as possible — by reusing the
+Theorem 4 splicing construction and a few cheaper hand-crafted patterns.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import PrivilegeAware, Protocol
+from ..core.state import Configuration
+from ..exceptions import ConstructionError
+from ..graphs import diameter, diameter_endpoints
+from ..types import VertexId
+from .construction import construct_double_privilege_witness
+
+__all__ = [
+    "immediate_double_privilege_configuration",
+    "latest_violation_configuration",
+    "adversarial_mutex_configurations",
+]
+
+
+def immediate_double_privilege_configuration(
+    protocol: Protocol,
+    pair: Optional[Tuple[VertexId, VertexId]] = None,
+) -> Configuration:
+    """A configuration in which two far-apart vertices are privileged *now*.
+
+    For SSME this means planting the two privileged clock values directly;
+    the transient fault model allows any such configuration.  Only protocols
+    whose privilege predicate depends on the vertex's own state alone (SSME)
+    support this shortcut; others should use the splicing construction.
+    """
+    privileged_value = getattr(protocol, "privileged_value", None)
+    if privileged_value is None:
+        raise ConstructionError(
+            "immediate_double_privilege_configuration needs a protocol with "
+            "per-vertex privileged values (SSME)"
+        )
+    graph = protocol.graph
+    u, v = pair if pair is not None else diameter_endpoints(graph)
+    assignment = {w: privileged_value(w) for w in graph.vertices}
+    # Keep only u and v on their privileged values; park everybody else on a
+    # non-privileged correct value near u's.
+    base = privileged_value(u)
+    clock = getattr(protocol, "clock")
+    for w in graph.vertices:
+        if w not in (u, v):
+            assignment[w] = clock.phi(base)
+    assignment[u] = privileged_value(u)
+    assignment[v] = privileged_value(v)
+    return protocol.configuration(assignment)
+
+
+def latest_violation_configuration(
+    protocol: Protocol,
+    horizon: Optional[int] = None,
+) -> Configuration:
+    """The spliced configuration of Theorem 4 at the largest admissible
+    delay ``t = ⌈diam/2⌉ - 1``: its synchronous execution still violates
+    safety ``t`` steps in, i.e. as late as the lower bound permits."""
+    diam = diameter(protocol.graph)
+    t = max(0, math.ceil(diam / 2) - 1)
+    if diam == 0:
+        raise ConstructionError("no violation is constructible on a single vertex")
+    witness = construct_double_privilege_witness(protocol, t, horizon=horizon)
+    return witness.initial_configuration
+
+
+def adversarial_mutex_configurations(
+    protocol: Protocol,
+    rng: random.Random,
+    random_count: int = 10,
+    include_spliced: bool = True,
+) -> List[Configuration]:
+    """A workload of initial configurations for mutual-exclusion experiments.
+
+    The workload mixes
+
+    * ``random_count`` arbitrary configurations (the plain transient-fault
+      model),
+    * an immediate double-privilege configuration (when the protocol
+      supports planting privileges), and
+    * the latest-violation spliced configuration of Theorem 4 (when
+      ``include_spliced`` and the diameter is at least 2).
+
+    The spliced configuration is the one that realizes (up to one step) the
+    worst case of Theorem 2, so including it makes the measured synchronous
+    stabilization times meaningful rather than trivially zero.
+    """
+    if not isinstance(protocol, PrivilegeAware):
+        raise ConstructionError("adversarial workloads need a privilege-aware protocol")
+    configurations: List[Configuration] = [
+        protocol.random_configuration(rng) for _ in range(random_count)
+    ]
+    diam = diameter(protocol.graph)
+    if diam >= 1 and getattr(protocol, "privileged_value", None) is not None:
+        configurations.append(immediate_double_privilege_configuration(protocol))
+    if include_spliced and diam >= 1:
+        configurations.append(latest_violation_configuration(protocol))
+    return configurations

@@ -1,0 +1,108 @@
+"""Service metrics for mutual-exclusion executions.
+
+Beyond the stabilization time, a user of a mutual-exclusion layer cares
+about the quality of service once the system has stabilized: how often each
+process enters its critical section, how long it waits between two entries,
+and how evenly the privilege is shared.  These metrics are not part of the
+paper's claims, but they make the examples and the downstream use of the
+library (resource arbitration scenarios) much more informative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import Execution, PrivilegeAware, Protocol
+from ..exceptions import SpecificationError
+from ..types import VertexId
+from .specification import critical_section_events
+
+__all__ = ["ServiceMetrics", "service_metrics"]
+
+
+class ServiceMetrics:
+    """Per-execution quality-of-service summary for mutual exclusion."""
+
+    __slots__ = (
+        "window_steps",
+        "entries",
+        "total_entries",
+        "max_gap",
+        "mean_gap",
+        "jains_fairness",
+        "starved_vertices",
+    )
+
+    def __init__(
+        self,
+        window_steps: int,
+        entries: Dict[VertexId, int],
+        max_gap: Optional[int],
+        mean_gap: Optional[float],
+        jains_fairness: float,
+        starved_vertices: List[VertexId],
+    ) -> None:
+        self.window_steps = window_steps
+        self.entries = entries
+        self.total_entries = sum(entries.values())
+        self.max_gap = max_gap
+        self.mean_gap = mean_gap
+        self.jains_fairness = jains_fairness
+        self.starved_vertices = starved_vertices
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceMetrics(total_entries={self.total_entries}, "
+            f"fairness={self.jains_fairness:.3f}, starved={len(self.starved_vertices)})"
+        )
+
+
+def service_metrics(
+    execution: Execution, protocol: Protocol, start: int = 0
+) -> ServiceMetrics:
+    """Compute service metrics on the window of ``execution`` from ``start``.
+
+    ``max_gap``/``mean_gap`` measure, over vertices with at least two
+    critical-section entries in the window, the number of steps between two
+    consecutive entries of the same vertex.  ``jains_fairness`` is Jain's
+    fairness index of the per-vertex entry counts (1.0 means perfectly even
+    sharing).  ``starved_vertices`` lists vertices with no entry at all in
+    the window — on a window of at least one clock period of a stabilized
+    SSME execution this list is empty (liveness).
+    """
+    if not isinstance(protocol, PrivilegeAware):
+        raise SpecificationError("service metrics require a privilege-aware protocol")
+    if not 0 <= start <= execution.steps:
+        raise SpecificationError(
+            f"start index {start} out of range (0..{execution.steps})"
+        )
+    vertices = list(protocol.graph.vertices)
+    entries: Dict[VertexId, int] = {v: 0 for v in vertices}
+    entry_steps: Dict[VertexId, List[int]] = {v: [] for v in vertices}
+    for step, vertex in critical_section_events(execution, protocol):
+        if step >= start:
+            entries[vertex] += 1
+            entry_steps[vertex].append(step)
+
+    gaps: List[int] = []
+    for steps in entry_steps.values():
+        gaps.extend(b - a for a, b in zip(steps, steps[1:]))
+    max_gap = max(gaps) if gaps else None
+    mean_gap = sum(gaps) / len(gaps) if gaps else None
+
+    counts = list(entries.values())
+    total = sum(counts)
+    if total == 0:
+        fairness = 1.0
+    else:
+        fairness = (total * total) / (len(counts) * sum(c * c for c in counts))
+
+    starved = sorted((v for v, count in entries.items() if count == 0), key=repr)
+    return ServiceMetrics(
+        window_steps=execution.steps - start,
+        entries=entries,
+        max_gap=max_gap,
+        mean_gap=mean_gap,
+        jains_fairness=fairness,
+        starved_vertices=starved,
+    )

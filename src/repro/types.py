@@ -1,0 +1,25 @@
+"""Shared type aliases used across the library.
+
+The simulator identifies vertices by arbitrary hashable objects; in practice
+the generators in :mod:`repro.graphs.generators` use small integers, and the
+mutual-exclusion protocols additionally require identifiers forming
+``{0, ..., n-1}`` (as assumed by the paper, Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Tuple
+
+#: A vertex of the communication graph.  Any hashable object is accepted.
+VertexId = Hashable
+
+#: An undirected edge, stored as an ordered pair for determinism.
+Edge = Tuple[VertexId, VertexId]
+
+#: The local state of a vertex as seen by the simulator.  Protocols define
+#: their own concrete (preferably immutable) state types; the simulator only
+#: requires hashability and equality.
+VertexStateLike = Hashable
+
+#: A read-only view of a configuration: vertex -> state.
+ConfigurationMapping = Mapping[VertexId, VertexStateLike]

@@ -1,0 +1,14 @@
+"""Asynchronous unison substrate (Boulinier, Petit & Villain)."""
+
+from .protocol import AsynchronousUnison, default_unison_parameters
+from .specification import AsynchronousUnisonSpec
+from .analysis import Island, decompose_islands, island_of
+
+__all__ = [
+    "AsynchronousUnison",
+    "AsynchronousUnisonSpec",
+    "Island",
+    "decompose_islands",
+    "default_unison_parameters",
+    "island_of",
+]

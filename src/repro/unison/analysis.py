@@ -1,0 +1,148 @@
+"""Island decomposition (Definitions 5 and 6).
+
+The Theorem 2 proof reasons about *islands*: maximal sets of vertices
+holding correct clock values whose internal edges are all locally correct.
+An island containing a vertex whose clock reads exactly 0 is a
+*zero-island*; otherwise it is a *non-zero-island*.  The *border* of an
+island is the set of its vertices with a neighbour outside the island, and
+its *depth* is the largest distance from an island vertex to the border.
+
+These notions are not needed to run SSME — they are analysis devices — but
+exposing them lets the test-suite exercise the combinatorial facts the proof
+relies on (Lemmas 2 and 3), and they make execution traces much easier to
+debug.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..core.state import Configuration
+from ..exceptions import SpecificationError
+from ..graphs import Graph
+from ..types import VertexId
+from .protocol import AsynchronousUnison
+
+__all__ = ["Island", "decompose_islands", "island_of"]
+
+
+class Island:
+    """One island of a configuration."""
+
+    __slots__ = ("vertices", "is_zero_island", "border", "depth")
+
+    def __init__(
+        self,
+        vertices: FrozenSet[VertexId],
+        is_zero_island: bool,
+        border: FrozenSet[VertexId],
+        depth: int,
+    ) -> None:
+        self.vertices = vertices
+        self.is_zero_island = is_zero_island
+        self.border = border
+        self.depth = depth
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self.vertices
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __repr__(self) -> str:
+        kind = "zero" if self.is_zero_island else "non-zero"
+        return (
+            f"Island({kind}, size={len(self.vertices)}, depth={self.depth}, "
+            f"border={sorted(self.border, key=repr)!r})"
+        )
+
+
+def _island_components(
+    protocol: AsynchronousUnison, configuration: Configuration
+) -> List[FrozenSet[VertexId]]:
+    """Connected clusters of correct-valued vertices whose internal edges are
+    all locally correct.
+
+    Definition 5 asks for maximal sets (w.r.t. inclusion) that are proper
+    subsets of ``V``; connected clusters of the "locally correct" subgraph
+    are the natural constructive reading, and they are what the proof's
+    border/depth arguments operate on.
+    """
+    graph: Graph = protocol.graph
+    clock = protocol.clock
+    members = [v for v in graph.vertices if clock.is_correct(configuration[v])]
+    member_set = set(members)
+    components: List[FrozenSet[VertexId]] = []
+    unvisited = set(members)
+    while unvisited:
+        start = min(unvisited, key=repr)
+        component = {start}
+        frontier = [start]
+        unvisited.discard(start)
+        while frontier:
+            current = frontier.pop()
+            for neighbor in graph.neighbors(current):
+                if neighbor in unvisited and protocol.correct_pair(
+                    configuration[current], configuration[neighbor]
+                ):
+                    unvisited.discard(neighbor)
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(frozenset(component))
+    return components
+
+
+def decompose_islands(
+    protocol: AsynchronousUnison, configuration: Configuration
+) -> List[Island]:
+    """Compute the islands of ``configuration`` (Definitions 5 and 6).
+
+    A component covering the whole vertex set is not an island (Definition 5
+    requires ``I ⊊ V``); in that case — which includes every configuration of
+    ``Γ₁`` — the decomposition is empty.
+    """
+    graph: Graph = protocol.graph
+    clock = protocol.clock
+    islands: List[Island] = []
+    for component in _island_components(protocol, configuration):
+        if len(component) == graph.n:
+            continue
+        is_zero = any(configuration[v] == 0 for v in component)
+        border = frozenset(
+            v
+            for v in component
+            if any(u not in component for u in graph.neighbors(v))
+        )
+        if border:
+            depth = 0
+            induced = graph.subgraph(component)
+            for v in component:
+                distances = induced.bfs_distances(v)
+                to_border = min(
+                    (distances[b] for b in border if b in distances), default=0
+                )
+                depth = max(depth, to_border)
+        else:
+            # No border can only happen for a full component, excluded above,
+            # or a disconnected graph, which protocols reject.
+            depth = 0
+        islands.append(
+            Island(
+                vertices=component,
+                is_zero_island=is_zero,
+                border=border,
+                depth=depth,
+            )
+        )
+    return islands
+
+
+def island_of(
+    protocol: AsynchronousUnison, configuration: Configuration, vertex: VertexId
+) -> Optional[Island]:
+    """The island containing ``vertex``, or ``None`` if it belongs to none
+    (its clock value is initial, or the whole graph is locally correct)."""
+    for island in decompose_islands(protocol, configuration):
+        if vertex in island:
+            return island
+    return None

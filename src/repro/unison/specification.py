@@ -1,0 +1,67 @@
+"""The asynchronous unison specification ``spec_AU`` (Specification 2).
+
+An execution satisfies ``spec_AU`` when every configuration belongs to the
+legitimate set ``Γ₁`` (safety) and the clock value of every vertex is
+incremented infinitely often (liveness).  On finite traces the liveness
+condition is approximated by "incremented at least once in the inspected
+window", which is the strongest checkable statement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import Execution, Protocol, Specification
+from ..core.state import Configuration
+from ..exceptions import SpecificationError
+from .protocol import AsynchronousUnison
+
+__all__ = ["AsynchronousUnisonSpec"]
+
+
+class AsynchronousUnisonSpec(Specification):
+    """``spec_AU`` for a given :class:`AsynchronousUnison` instance."""
+
+    name = "spec_AU"
+
+    def __init__(self, protocol: AsynchronousUnison) -> None:
+        if not isinstance(protocol, AsynchronousUnison):
+            raise SpecificationError(
+                "AsynchronousUnisonSpec requires an AsynchronousUnison protocol"
+            )
+        self._protocol = protocol
+
+    # ------------------------------------------------------------------ #
+    # Safety: membership in Γ₁
+    # ------------------------------------------------------------------ #
+    def is_safe(self, configuration: Configuration, protocol: Protocol) -> bool:
+        del protocol  # the spec is bound to its own protocol instance
+        return self._protocol.is_legitimate(configuration)
+
+    # ------------------------------------------------------------------ #
+    # Liveness: every clock incremented in the window
+    # ------------------------------------------------------------------ #
+    def check_liveness(
+        self, execution: Execution, protocol: Protocol, start: int = 0
+    ) -> bool:
+        del protocol
+        incremented = set()
+        clock = self._protocol.clock
+        for index in range(start, execution.steps):
+            for record in execution.activation_records(index):
+                if record.rule_name in (
+                    AsynchronousUnison.RULE_NORMAL,
+                    AsynchronousUnison.RULE_CONVERGE,
+                ) and record.new_state == clock.phi(record.old_state):
+                    incremented.add(record.vertex)
+        return incremented >= set(self._protocol.graph.vertices)
+
+    def drift_bound_violations(self, configuration: Configuration) -> int:
+        """Number of edges whose endpoints drift by more than 1 — a simple
+        progress metric used by the examples."""
+        clock = self._protocol.clock
+        return sum(
+            1
+            for u, v in self._protocol.graph.edges
+            if clock.distance(configuration[u], configuration[v]) > 1
+        )

@@ -1,0 +1,143 @@
+"""Unit tests for the min+1 BFS spanning-tree baseline (Huang & Chen)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    CentralDaemon,
+    DistributedDaemon,
+    Simulator,
+    SynchronousDaemon,
+    measure_stabilization,
+)
+from repro.exceptions import ProtocolError, SpecificationError
+from repro.graphs import diameter, grid_graph, path_graph, random_connected_graph, star_graph
+from repro.baselines import BfsSpanningTree, BfsTreeSpec
+from repro.mutex import DijkstraTokenRing
+
+
+class TestConstruction:
+    def test_default_root(self):
+        protocol = BfsSpanningTree(path_graph(5))
+        assert protocol.root == 0
+        assert protocol.max_level == 5
+
+    def test_explicit_root(self):
+        protocol = BfsSpanningTree(path_graph(5), root=2)
+        assert protocol.root == 2
+        assert protocol.true_levels()[0] == 2
+
+    def test_unknown_root(self):
+        with pytest.raises(ProtocolError):
+            BfsSpanningTree(path_graph(3), root=9)
+
+    def test_state_validation(self):
+        protocol = BfsSpanningTree(path_graph(3))
+        with pytest.raises(ProtocolError):
+            protocol.validate_state(0, -1)
+        with pytest.raises(ProtocolError):
+            protocol.validate_state(0, 99)
+
+    def test_spec_requires_bfs_protocol(self):
+        with pytest.raises(SpecificationError):
+            BfsTreeSpec(DijkstraTokenRing.on_ring(4))
+
+
+class TestRules:
+    def test_root_rule(self):
+        protocol = BfsSpanningTree(path_graph(3))
+        gamma = protocol.configuration({0: 2, 1: 1, 2: 2})
+        rules = protocol.enabled_rules(gamma, 0)
+        assert [r.name for r in rules] == ["R0"]
+        gamma2, _ = protocol.apply(gamma, [0])
+        assert gamma2[0] == 0
+
+    def test_min_plus_one_rule(self):
+        protocol = BfsSpanningTree(path_graph(3))
+        gamma = protocol.configuration({0: 0, 1: 3, 2: 3})
+        gamma2, records = protocol.apply(gamma, [1])
+        assert gamma2[1] == 1
+        assert records[0].rule_name == "M1"
+
+    def test_levels_are_clamped(self):
+        protocol = BfsSpanningTree(path_graph(3))
+        gamma = protocol.configuration({0: 3, 1: 3, 2: 3})
+        gamma2, _ = protocol.apply(gamma, [2])
+        assert gamma2[2] == protocol.max_level - 1 + 1  # min(3,3)+1 clamped within domain
+        assert gamma2[2] <= protocol.max_level
+
+
+class TestLegitimacy:
+    def test_true_levels_are_legitimate_and_terminal(self):
+        graph = grid_graph(3, 3)
+        protocol = BfsSpanningTree(graph)
+        spec = BfsTreeSpec(protocol)
+        gamma = protocol.configuration(protocol.true_levels())
+        assert spec.is_safe(gamma, protocol)
+        assert protocol.is_terminal(gamma)
+
+    def test_wrong_levels_are_not_legitimate(self):
+        protocol = BfsSpanningTree(path_graph(4))
+        spec = BfsTreeSpec(protocol)
+        gamma = protocol.configuration({0: 0, 1: 1, 2: 2, 3: 2})
+        assert not spec.is_safe(gamma, protocol)
+
+    def test_parents_of_correct_levels_form_a_tree(self):
+        graph = grid_graph(3, 3)
+        protocol = BfsSpanningTree(graph)
+        gamma = protocol.configuration(protocol.true_levels())
+        parents = protocol.parents(gamma)
+        assert parents[protocol.root] is None
+        for vertex, parent in parents.items():
+            if vertex == protocol.root:
+                continue
+            assert parent is not None
+            assert graph.has_edge(vertex, parent)
+            assert gamma[parent] == gamma[vertex] - 1
+
+    def test_parents_with_inconsistent_levels(self):
+        protocol = BfsSpanningTree(path_graph(3))
+        gamma = protocol.configuration({0: 0, 1: 3, 2: 1})
+        parents = protocol.parents(gamma)
+        assert parents[1] is None
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(7), star_graph(6), grid_graph(3, 3), random_connected_graph(10, 0.2, random.Random(1))],
+        ids=["path7", "star6", "grid3x3", "random10"],
+    )
+    @pytest.mark.parametrize(
+        "daemon_factory", [SynchronousDaemon, CentralDaemon, lambda: DistributedDaemon(0.5)],
+        ids=["sd", "cd", "dd"],
+    )
+    def test_converges_to_bfs_distances(self, graph, daemon_factory, rng):
+        protocol = BfsSpanningTree(graph)
+        spec = BfsTreeSpec(protocol)
+        truth = protocol.true_levels()
+        for _ in range(3):
+            gamma = protocol.random_configuration(rng)
+            simulator = Simulator(protocol, daemon_factory(), rng=random.Random(rng.randrange(2**32)))
+            execution = simulator.run_until_terminal(gamma, max_steps=20 * graph.n * graph.n + 100)
+            assert dict(execution.final) == truth
+            assert spec.is_safe(execution.final, protocol)
+
+    def test_synchronous_convergence_is_about_diameter(self, rng):
+        """The Section 3 claim: Theta(diam) synchronous steps."""
+        graph = path_graph(12)
+        protocol = BfsSpanningTree(graph)
+        spec = BfsTreeSpec(protocol)
+        diam = diameter(graph)
+        worst = 0
+        for _ in range(5):
+            gamma = protocol.random_configuration(rng)
+            measurement = measure_stabilization(
+                protocol, SynchronousDaemon(), gamma, spec, horizon=4 * graph.n
+            )
+            assert measurement.stabilized
+            worst = max(worst, measurement.stabilization_steps)
+        assert worst <= 2 * diam + 2

@@ -1,0 +1,142 @@
+"""Unit tests for the bounded clock cherry(alpha, K) of Figure 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import BoundedClock
+from repro.exceptions import ClockError
+
+
+@pytest.fixture
+def figure1_clock() -> BoundedClock:
+    """The clock of Figure 1: cherry(5, 12)."""
+    return BoundedClock(alpha=5, K=12)
+
+
+class TestConstruction:
+    def test_parameters(self, figure1_clock):
+        assert figure1_clock.alpha == 5
+        assert figure1_clock.K == 12
+        assert figure1_clock.size == 17
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ClockError):
+            BoundedClock(alpha=0, K=5)
+
+    def test_invalid_K(self):
+        with pytest.raises(ClockError):
+            BoundedClock(alpha=3, K=1)
+
+    def test_equality_and_hash(self):
+        assert BoundedClock(2, 5) == BoundedClock(2, 5)
+        assert BoundedClock(2, 5) != BoundedClock(2, 6)
+        assert hash(BoundedClock(2, 5)) == hash(BoundedClock(2, 5))
+
+    def test_repr(self, figure1_clock):
+        assert "alpha=5" in repr(figure1_clock)
+        assert "K=12" in repr(figure1_clock)
+
+
+class TestDomains:
+    def test_values(self, figure1_clock):
+        values = list(figure1_clock.values())
+        assert values[0] == -5
+        assert values[-1] == 11
+        assert len(values) == 17
+
+    def test_initial_and_correct_sets(self, figure1_clock):
+        assert figure1_clock.initial_values() == frozenset(range(-5, 1))
+        assert figure1_clock.strict_initial_values() == frozenset(range(-5, 0))
+        assert figure1_clock.correct_values() == frozenset(range(12))
+        assert figure1_clock.strict_correct_values() == frozenset(range(1, 12))
+
+    def test_zero_is_both_initial_and_correct(self, figure1_clock):
+        assert figure1_clock.is_initial(0)
+        assert figure1_clock.is_correct(0)
+
+    def test_membership(self, figure1_clock):
+        assert figure1_clock.contains(-5)
+        assert figure1_clock.contains(11)
+        assert not figure1_clock.contains(-6)
+        assert not figure1_clock.contains(12)
+        assert 3 in figure1_clock
+        assert 12 not in figure1_clock
+        assert "x" not in figure1_clock
+
+    def test_check_raises(self, figure1_clock):
+        with pytest.raises(ClockError):
+            figure1_clock.check(99)
+
+
+class TestPhi:
+    def test_phi_on_tail(self, figure1_clock):
+        assert figure1_clock.phi(-5) == -4
+        assert figure1_clock.phi(-1) == 0
+
+    def test_phi_on_cycle(self, figure1_clock):
+        assert figure1_clock.phi(0) == 1
+        assert figure1_clock.phi(11) == 0
+
+    def test_phi_rejects_outside_domain(self, figure1_clock):
+        with pytest.raises(ClockError):
+            figure1_clock.phi(12)
+
+    def test_increment_multiple(self, figure1_clock):
+        assert figure1_clock.increment(-5, 5) == 0
+        assert figure1_clock.increment(10, 3) == 1
+
+    def test_increment_negative_times(self, figure1_clock):
+        with pytest.raises(ClockError):
+            figure1_clock.increment(0, -1)
+
+    def test_trajectory(self, figure1_clock):
+        assert figure1_clock.trajectory(-2, 4) == [-2, -1, 0, 1, 2]
+
+    def test_trajectory_negative_length(self, figure1_clock):
+        with pytest.raises(ClockError):
+            figure1_clock.trajectory(0, -1)
+
+    def test_steps_to_reach(self, figure1_clock):
+        assert figure1_clock.steps_to_reach(-5, 0) == 5
+        assert figure1_clock.steps_to_reach(0, 0) == 0
+        assert figure1_clock.steps_to_reach(3, 2) == 11
+
+    def test_initial_values_unreachable_from_cycle(self, figure1_clock):
+        with pytest.raises(ClockError):
+            figure1_clock.steps_to_reach(0, -3)
+
+
+class TestReset:
+    def test_reset_value(self, figure1_clock):
+        assert figure1_clock.reset_value() == -5
+
+    def test_reset(self, figure1_clock):
+        assert figure1_clock.reset(7) == -5
+        assert figure1_clock.reset(-2) == -5
+
+
+class TestDistanceAndOrders:
+    def test_canonical(self, figure1_clock):
+        assert figure1_clock.canonical(-1) == 11
+        assert figure1_clock.canonical(5) == 5
+
+    def test_distance_symmetric(self, figure1_clock):
+        assert figure1_clock.distance(1, 11) == 2
+        assert figure1_clock.distance(11, 1) == 2
+        assert figure1_clock.distance(0, 6) == 6
+
+    def test_distance_max_is_half_K(self, figure1_clock):
+        assert max(figure1_clock.distance(0, c) for c in range(12)) == 6
+
+    def test_locally_comparable(self, figure1_clock):
+        assert figure1_clock.locally_comparable(3, 4)
+        assert figure1_clock.locally_comparable(0, 11)
+        assert not figure1_clock.locally_comparable(3, 5)
+
+    def test_local_le(self, figure1_clock):
+        assert figure1_clock.local_le(3, 3)
+        assert figure1_clock.local_le(3, 4)
+        assert not figure1_clock.local_le(4, 3)
+        assert figure1_clock.local_le(11, 0)  # wrap-around successor
+        assert not figure1_clock.local_le(0, 11)

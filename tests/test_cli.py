@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro.experiments`` command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        exit_code = main(["E1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[E1]" in captured.out
+        assert "verdict: PASS" in captured.out
+
+    def test_write_markdown(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        exit_code = main(["E1", "--write", str(target)])
+        assert exit_code == 0
+        text = target.read_text(encoding="utf-8")
+        assert "# EXPERIMENTS" in text
+        assert "### E1" in text
+        assert "PASS" in text
+
+    def test_unknown_experiment_is_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["E99"])

@@ -1,0 +1,61 @@
+"""Unit tests for the clock analysis helpers (Figure 1 support)."""
+
+from __future__ import annotations
+
+from repro.clocks import (
+    BoundedClock,
+    all_within_drift,
+    clock_description,
+    drift,
+    max_pairwise_drift,
+    phi_orbit_partition,
+    render_cherry_ascii,
+)
+
+
+class TestDrift:
+    def test_drift_empty(self):
+        assert drift(BoundedClock(2, 8), []) == 0
+
+    def test_drift_values(self):
+        clock = BoundedClock(2, 8)
+        assert drift(clock, [0, 1, 7]) == 1
+        assert drift(clock, [4]) == 4
+
+    def test_max_pairwise_drift(self):
+        clock = BoundedClock(2, 10)
+        assert max_pairwise_drift(clock, [0, 1, 2]) == 2
+        assert max_pairwise_drift(clock, [0, 9]) == 1
+        assert max_pairwise_drift(clock, [5]) == 0
+
+    def test_all_within_drift(self):
+        clock = BoundedClock(2, 10)
+        assert all_within_drift(clock, [4, 5], 1)
+        assert all_within_drift(clock, [0, 1, 9], 2)
+        assert not all_within_drift(clock, [0, 1, 9], 1)
+        assert not all_within_drift(clock, [0, 3], 2)
+
+
+class TestDescriptions:
+    def test_clock_description(self):
+        description = clock_description(BoundedClock(5, 12))
+        assert description["alpha"] == 5
+        assert description["K"] == 12
+        assert description["size"] == 17
+        assert description["reset_value"] == -5
+        assert description["initial_values"] == list(range(-5, 1))
+
+    def test_render_cherry_contains_key_values(self):
+        text = render_cherry_ascii(BoundedClock(5, 12))
+        assert "cherry(alpha=5, K=12)" in text
+        assert "-5" in text
+        assert "11" in text
+
+    def test_render_cherry_elides_long_cycles(self):
+        text = render_cherry_ascii(BoundedClock(3, 100), max_cycle_values=10)
+        assert "..." in text
+
+    def test_phi_orbit_partition(self):
+        transient, recurrent = phi_orbit_partition(BoundedClock(3, 6))
+        assert transient == [-3, -2, -1]
+        assert recurrent == [0, 1, 2, 3, 4, 5]

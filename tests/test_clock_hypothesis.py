@@ -1,0 +1,98 @@
+"""Property-based tests for the bounded clock (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import BoundedClock
+
+clock_params = st.tuples(st.integers(1, 20), st.integers(2, 60))
+
+
+def clock_and_value():
+    """Strategy: a clock together with a value of its domain."""
+    return clock_params.flatmap(
+        lambda params: st.tuples(
+            st.just(BoundedClock(alpha=params[0], K=params[1])),
+            st.integers(-params[0], params[1] - 1),
+        )
+    )
+
+
+def clock_and_two_values():
+    return clock_params.flatmap(
+        lambda params: st.tuples(
+            st.just(BoundedClock(alpha=params[0], K=params[1])),
+            st.integers(-params[0], params[1] - 1),
+            st.integers(-params[0], params[1] - 1),
+        )
+    )
+
+
+@given(clock_and_value())
+def test_phi_stays_in_domain(data):
+    clock, value = data
+    assert clock.contains(clock.phi(value))
+
+
+@given(clock_and_value())
+def test_phi_leaves_the_initial_tail_monotonically(data):
+    clock, value = data
+    successor = clock.phi(value)
+    if clock.is_strict_initial(value):
+        assert successor == value + 1
+    else:
+        assert clock.is_correct(successor)
+
+
+@given(clock_and_value())
+def test_reset_always_lands_on_minus_alpha(data):
+    clock, value = data
+    assert clock.reset(value) == -clock.alpha
+
+
+@given(clock_and_value())
+def test_cycle_has_period_K(data):
+    clock, value = data
+    if clock.is_correct(value):
+        assert clock.increment(value, clock.K) == value
+
+
+@given(clock_and_value())
+def test_every_value_eventually_reaches_zero(data):
+    clock, value = data
+    steps = clock.steps_to_reach(value, 0)
+    assert 0 <= steps <= clock.alpha + clock.K
+
+
+@given(clock_and_two_values())
+def test_distance_is_a_metric_on_representatives(data):
+    clock, a, b = data
+    dab = clock.distance(a, b)
+    assert 0 <= dab <= clock.K // 2
+    assert dab == clock.distance(b, a)
+    assert clock.distance(a, a) == 0
+    if dab == 0:
+        assert clock.canonical(a) == clock.canonical(b)
+
+
+@given(clock_and_two_values(), st.integers(-20, 59))
+def test_triangle_inequality(data, c_raw):
+    clock, a, b = data
+    c = max(-clock.alpha, min(clock.K - 1, c_raw))
+    assert clock.distance(a, b) <= clock.distance(a, c) + clock.distance(c, b)
+
+
+@given(clock_and_two_values())
+def test_local_le_matches_definition(data):
+    clock, a, b = data
+    expected = (clock.canonical(b) - clock.canonical(a)) % clock.K <= 1
+    assert clock.local_le(a, b) == expected
+
+
+@given(clock_and_two_values())
+def test_locally_comparable_iff_le_in_one_direction(data):
+    clock, a, b = data
+    comparable = clock.locally_comparable(a, b)
+    assert comparable == (clock.local_le(a, b) or clock.local_le(b, a))

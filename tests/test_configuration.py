@@ -1,0 +1,81 @@
+"""Unit tests for Configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Configuration
+from repro.exceptions import SimulationError
+
+
+class TestMappingInterface:
+    def test_getitem(self):
+        gamma = Configuration({0: 5, 1: -2})
+        assert gamma[0] == 5
+        assert gamma[1] == -2
+
+    def test_missing_vertex(self):
+        gamma = Configuration({0: 5})
+        with pytest.raises(SimulationError):
+            gamma[3]
+
+    def test_len_iter_contains(self):
+        gamma = Configuration({0: 1, 1: 2, 2: 3})
+        assert len(gamma) == 3
+        assert set(gamma) == {0, 1, 2}
+        assert 1 in gamma
+        assert 9 not in gamma
+
+    def test_equality_with_configuration_and_dict(self):
+        gamma = Configuration({0: 1, 1: 2})
+        assert gamma == Configuration({1: 2, 0: 1})
+        assert gamma == {0: 1, 1: 2}
+        assert gamma != Configuration({0: 1, 1: 3})
+        assert gamma != 42
+
+    def test_hashable(self):
+        gamma = Configuration({0: 1})
+        gamma2 = Configuration({0: 1})
+        assert hash(gamma) == hash(gamma2)
+        assert len({gamma, gamma2}) == 1
+
+    def test_repr_is_deterministic(self):
+        assert repr(Configuration({1: "a", 0: "b"})) == repr(Configuration({0: "b", 1: "a"}))
+
+    def test_as_dict_is_a_copy(self):
+        gamma = Configuration({0: 1})
+        d = gamma.as_dict()
+        d[0] = 99
+        assert gamma[0] == 1
+
+
+class TestFunctionalUpdates:
+    def test_updated_returns_new_configuration(self):
+        gamma = Configuration({0: 1, 1: 2})
+        gamma2 = gamma.updated({0: 7})
+        assert gamma2[0] == 7
+        assert gamma2[1] == 2
+        assert gamma[0] == 1
+
+    def test_updated_unknown_vertex(self):
+        with pytest.raises(SimulationError):
+            Configuration({0: 1}).updated({5: 3})
+
+    def test_restrict(self):
+        gamma = Configuration({0: 1, 1: 2, 2: 3})
+        sub = gamma.restrict([0, 2])
+        assert set(sub) == {0, 2}
+        assert sub[2] == 3
+
+    def test_restrict_unknown_vertex(self):
+        with pytest.raises(SimulationError):
+            Configuration({0: 1}).restrict([0, 9])
+
+    def test_differing_vertices(self):
+        a = Configuration({0: 1, 1: 2, 2: 3})
+        b = Configuration({0: 1, 1: 5, 2: 6})
+        assert set(a.differing_vertices(b)) == {1, 2}
+
+    def test_differing_vertices_mismatched_domains(self):
+        with pytest.raises(SimulationError):
+            Configuration({0: 1}).differing_vertices(Configuration({1: 1}))

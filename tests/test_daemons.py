@@ -1,0 +1,191 @@
+"""Unit tests for daemons (Definition 1) and their partial order (Definition 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    AdversarialCentralDaemon,
+    CentralDaemon,
+    DistributedDaemon,
+    LocallyCentralDaemon,
+    RoundRobinCentralDaemon,
+    StarvationDaemon,
+    SynchronousDaemon,
+    is_weaker_than,
+    make_daemon,
+)
+from repro.exceptions import DaemonError
+from repro.graphs import ring_graph
+from repro.unison import AsynchronousUnison
+
+
+@pytest.fixture
+def protocol():
+    return AsynchronousUnison(ring_graph(5))
+
+
+@pytest.fixture
+def configuration(protocol):
+    return protocol.random_configuration(random.Random(0))
+
+
+def _select(daemon, protocol, configuration, seed=0):
+    daemon.bind(protocol)
+    enabled = protocol.enabled_vertices(configuration)
+    return enabled, daemon.checked_select(enabled, configuration, 0, random.Random(seed))
+
+
+class TestSynchronousDaemon:
+    def test_selects_all_enabled(self, protocol, configuration):
+        enabled, selection = _select(SynchronousDaemon(), protocol, configuration)
+        assert selection == enabled
+
+    def test_admits_only_full_selection(self):
+        daemon = SynchronousDaemon()
+        enabled = frozenset({0, 1, 2})
+        assert daemon.admits_selection(enabled, enabled)
+        assert not daemon.admits_selection(enabled, frozenset({0}))
+
+
+class TestCentralDaemon:
+    def test_selects_exactly_one(self, protocol, configuration):
+        enabled, selection = _select(CentralDaemon(), protocol, configuration)
+        assert len(selection) == 1
+        assert selection <= enabled
+
+    def test_first_and_last_strategies(self, protocol, configuration):
+        enabled, first = _select(CentralDaemon("first"), protocol, configuration)
+        _, last = _select(CentralDaemon("last"), protocol, configuration)
+        assert next(iter(first)) == min(enabled)
+        assert next(iter(last)) == max(enabled)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(DaemonError):
+            CentralDaemon("weird")
+
+    def test_admits_only_singletons(self):
+        daemon = CentralDaemon()
+        enabled = frozenset({0, 1})
+        assert daemon.admits_selection(enabled, frozenset({0}))
+        assert not daemon.admits_selection(enabled, enabled)
+
+
+class TestRoundRobin:
+    def test_cycles_through_vertices(self, protocol):
+        daemon = RoundRobinCentralDaemon()
+        daemon.bind(protocol)
+        gamma = protocol.legitimate_configuration(0)
+        selected = []
+        rng = random.Random(0)
+        current = gamma
+        for step in range(protocol.graph.n):
+            enabled = protocol.enabled_vertices(current)
+            selection = daemon.checked_select(enabled, current, step, rng)
+            selected.append(next(iter(selection)))
+            current, _ = protocol.apply(current, selection)
+        # Every vertex of the ring is served once in the first n selections.
+        assert sorted(selected) == sorted(protocol.graph.vertices)
+
+
+class TestDistributedDaemon:
+    def test_nonempty_subset(self, protocol, configuration):
+        enabled, selection = _select(DistributedDaemon(0.4), protocol, configuration)
+        assert selection
+        assert selection <= enabled
+
+    def test_probability_validation(self):
+        with pytest.raises(DaemonError):
+            DistributedDaemon(0.0)
+        with pytest.raises(DaemonError):
+            DistributedDaemon(1.5)
+
+    def test_admits_any_nonempty_subset(self):
+        daemon = DistributedDaemon()
+        enabled = frozenset({0, 1, 2})
+        assert daemon.admits_selection(enabled, frozenset({1, 2}))
+        assert not daemon.admits_selection(enabled, frozenset())
+
+
+class TestLocallyCentralDaemon:
+    def test_never_selects_neighbors(self, protocol, configuration):
+        daemon = LocallyCentralDaemon()
+        daemon.bind(protocol)
+        enabled = protocol.enabled_vertices(configuration)
+        for seed in range(10):
+            selection = daemon.checked_select(enabled, configuration, 0, random.Random(seed))
+            for u in selection:
+                for v in selection:
+                    if u != v:
+                        assert not protocol.graph.has_edge(u, v)
+
+    def test_requires_bound_protocol(self, configuration):
+        daemon = LocallyCentralDaemon()
+        with pytest.raises(DaemonError):
+            daemon.select(frozenset({0}), configuration, 0, random.Random(0))
+
+
+class TestAdversarialDaemons:
+    def test_adversarial_central_selects_one_enabled(self, protocol, configuration):
+        enabled, selection = _select(AdversarialCentralDaemon(), protocol, configuration)
+        assert len(selection) == 1
+        assert selection <= enabled
+
+    def test_starvation_daemon_avoids_target(self, protocol, configuration):
+        daemon = StarvationDaemon(target=0)
+        daemon.bind(protocol)
+        enabled = protocol.enabled_vertices(configuration)
+        selection = daemon.checked_select(enabled, configuration, 0, random.Random(0))
+        if enabled != frozenset({0}):
+            assert 0 not in selection
+
+    def test_starvation_daemon_activates_target_when_alone(self, protocol):
+        daemon = StarvationDaemon(target=0)
+        daemon.bind(protocol)
+        gamma = protocol.random_configuration(random.Random(1))
+        selection = daemon.select(frozenset({0}), gamma, 0, random.Random(0))
+        assert selection == frozenset({0})
+
+
+class TestCheckedSelect:
+    def test_empty_enabled_rejected(self, protocol, configuration):
+        daemon = SynchronousDaemon()
+        with pytest.raises(DaemonError):
+            daemon.checked_select(frozenset(), configuration, 0, random.Random(0))
+
+    def test_illegal_daemon_is_caught(self, protocol, configuration):
+        class BadDaemon(SynchronousDaemon):
+            def select(self, enabled, configuration, step_index, rng):
+                return frozenset({"not-a-vertex"})
+
+        daemon = BadDaemon()
+        with pytest.raises(DaemonError):
+            daemon.checked_select(frozenset({0}), configuration, 0, random.Random(0))
+
+
+class TestPartialOrder:
+    def test_synchronous_weaker_than_distributed(self):
+        ground = [frozenset({0, 1}), frozenset({0, 1, 2})]
+        assert is_weaker_than(SynchronousDaemon(), DistributedDaemon(), ground)
+        assert not is_weaker_than(DistributedDaemon(), SynchronousDaemon(), ground)
+
+    def test_central_weaker_than_distributed(self):
+        ground = [frozenset({0, 1, 2})]
+        assert is_weaker_than(CentralDaemon(), DistributedDaemon(), ground)
+
+    def test_synchronous_and_central_incomparable(self):
+        ground = [frozenset({0, 1, 2})]
+        assert not is_weaker_than(SynchronousDaemon(), CentralDaemon(), ground)
+        assert not is_weaker_than(CentralDaemon(), SynchronousDaemon(), ground)
+
+
+class TestFactory:
+    def test_make_daemon(self):
+        assert isinstance(make_daemon("sd"), SynchronousDaemon)
+        assert isinstance(make_daemon("dd", activation_probability=0.7), DistributedDaemon)
+
+    def test_make_daemon_unknown(self):
+        with pytest.raises(DaemonError):
+            make_daemon("quantum")

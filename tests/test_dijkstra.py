@@ -1,0 +1,134 @@
+"""Unit tests for Dijkstra's K-state token ring (the baseline protocol)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    CentralDaemon,
+    SynchronousDaemon,
+    measure_stabilization,
+    synchronous_execution,
+)
+from repro.exceptions import ProtocolError
+from repro.graphs import Graph, path_graph, ring_graph
+from repro.mutex import DijkstraTokenRing, MutualExclusionSpec
+
+
+class TestConstruction:
+    def test_on_ring(self):
+        protocol = DijkstraTokenRing.on_ring(6)
+        assert protocol.K == 7
+        assert protocol.bottom == 0
+        assert len(protocol.ring_order) == 6
+
+    def test_requires_ring(self):
+        with pytest.raises(ProtocolError):
+            DijkstraTokenRing(path_graph(5))
+
+    def test_requires_at_least_two_processes(self):
+        with pytest.raises(ProtocolError):
+            DijkstraTokenRing(Graph([0], []))
+
+    def test_two_process_ring(self):
+        protocol = DijkstraTokenRing(ring_graph(2))
+        assert protocol.predecessor(0) == 1
+        assert protocol.predecessor(1) == 0
+
+    def test_explicit_K_and_bottom(self):
+        protocol = DijkstraTokenRing(ring_graph(5), K=9, bottom=2)
+        assert protocol.K == 9
+        assert protocol.bottom == 2
+        assert protocol.ring_order[0] == 2
+
+    def test_invalid_K(self):
+        with pytest.raises(ProtocolError):
+            DijkstraTokenRing(ring_graph(4), K=1)
+
+    def test_invalid_bottom(self):
+        with pytest.raises(ProtocolError):
+            DijkstraTokenRing(ring_graph(4), bottom=9)
+
+    def test_ring_order_is_a_cycle(self):
+        protocol = DijkstraTokenRing.on_ring(7)
+        order = list(protocol.ring_order)
+        for a, b in zip(order, order[1:] + order[:1]):
+            assert protocol.graph.has_edge(a, b)
+        assert sorted(order) == list(range(7))
+
+    def test_state_validation(self):
+        protocol = DijkstraTokenRing.on_ring(4)
+        with pytest.raises(ProtocolError):
+            protocol.validate_state(0, protocol.K)
+        with pytest.raises(ProtocolError):
+            protocol.validate_state(0, "x")
+
+
+class TestPrivilegeAndMoves:
+    def test_legitimate_configuration_has_exactly_one_privilege(self):
+        protocol = DijkstraTokenRing.on_ring(6)
+        gamma = protocol.legitimate_configuration(0)
+        privileged = protocol.privileged_vertices(gamma)
+        assert privileged == frozenset({protocol.bottom})
+
+    def test_privilege_equals_enabledness(self, rng):
+        protocol = DijkstraTokenRing.on_ring(6)
+        for _ in range(20):
+            gamma = protocol.random_configuration(rng)
+            for vertex in protocol.graph.vertices:
+                assert protocol.is_privileged(gamma, vertex) == protocol.is_enabled(gamma, vertex)
+
+    def test_bottom_increments_and_others_copy(self):
+        protocol = DijkstraTokenRing.on_ring(4)
+        gamma = protocol.legitimate_configuration(1)
+        gamma2, records = protocol.apply(gamma, [protocol.bottom])
+        assert gamma2[protocol.bottom] == 2
+        # The successor of the bottom machine now sees a difference and copies.
+        successor = protocol.ring_order[1]
+        assert protocol.is_privileged(gamma2, successor)
+        gamma3, _ = protocol.apply(gamma2, [successor])
+        assert gamma3[successor] == 2
+
+    def test_token_circulates_in_ring_order(self):
+        protocol = DijkstraTokenRing.on_ring(5)
+        execution = synchronous_execution(protocol, protocol.legitimate_configuration(0), 10)
+        # In a legitimate configuration exactly one vertex is privileged at
+        # any time and the privilege moves along the ring.
+        for index in range(execution.steps + 1):
+            assert len(protocol.privileged_vertices(execution.configuration(index))) == 1
+
+
+class TestSelfStabilization:
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_stabilizes_under_synchronous_daemon(self, n, rng):
+        protocol = DijkstraTokenRing.on_ring(n)
+        spec = MutualExclusionSpec(protocol)
+        for _ in range(5):
+            gamma = protocol.random_configuration(rng)
+            measurement = measure_stabilization(
+                protocol, SynchronousDaemon(), gamma, spec, horizon=8 * n, check_liveness=True
+            )
+            assert measurement.stabilized
+            assert measurement.liveness_ok
+            # The paper's claim is n steps; allow the small constant slack of
+            # our "last violation" measurement convention.
+            assert measurement.stabilization_steps <= 2 * n
+
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_stabilizes_under_central_daemon(self, n, rng):
+        protocol = DijkstraTokenRing.on_ring(n)
+        spec = MutualExclusionSpec(protocol)
+        for _ in range(5):
+            gamma = protocol.random_configuration(rng)
+            measurement = measure_stabilization(
+                protocol,
+                CentralDaemon(),
+                gamma,
+                spec,
+                horizon=8 * n * n,
+                rng=random.Random(rng.randrange(2**32)),
+            )
+            assert measurement.stabilized
+            assert measurement.stabilization_steps <= 4 * n * n

@@ -1,0 +1,183 @@
+"""Tests for the experiment harness: report container, workloads, drivers.
+
+The drivers are exercised on reduced sweeps so the whole file stays fast;
+the full sweeps are what the benchmarks run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    EXPERIMENT_DRIVERS,
+    ExperimentReport,
+    dijkstra_comparison,
+    figure1_clock,
+    mutex_workload,
+    perturbed_configurations,
+    random_configurations,
+    render_experiments_markdown,
+    run_all_experiments,
+    table_speculative_examples,
+    theorem2_sync_upper,
+    theorem3_async_upper,
+    theorem4_lower_bound,
+)
+from repro.graphs import ring_graph
+from repro.mutex import SSME
+
+
+class TestExperimentReport:
+    def test_report_rendering(self):
+        report = ExperimentReport(
+            experiment_id="EX",
+            title="demo",
+            paper_claim="claim",
+            rows=[{"a": 1, "b": 2.5}],
+            summary={"key": "value"},
+            passed=True,
+            notes=["a note"],
+        )
+        text = report.to_text()
+        assert "[EX] demo" in text
+        assert "claim" in text
+        assert "verdict: PASS" in text
+        markdown = report.to_markdown()
+        assert "### EX" in markdown
+        assert "| a | b |" in markdown
+        assert "a note" in markdown
+        assert "rows=1" in repr(report)
+
+    def test_report_requires_id(self):
+        with pytest.raises(ExperimentError):
+            ExperimentReport("", "t", "c", [])
+
+    def test_failed_report_renders_fail(self):
+        report = ExperimentReport("EX", "t", "c", [], passed=False)
+        assert "FAIL" in report.to_text()
+
+
+class TestWorkloads:
+    def test_random_configurations(self, rng):
+        protocol = SSME(ring_graph(6))
+        configs = random_configurations(protocol, 4, rng)
+        assert len(configs) == 4
+        with pytest.raises(ExperimentError):
+            random_configurations(protocol, -1, rng)
+
+    def test_perturbed_configurations(self, rng):
+        protocol = SSME(ring_graph(6))
+        base = protocol.legitimate_configuration(0)
+        configs = perturbed_configurations(protocol, base, 5, rng, corrupted_vertices=2)
+        assert len(configs) == 5
+        for config in configs:
+            differing = base.differing_vertices(config)
+            assert len(differing) <= 2
+
+    def test_perturbed_configurations_validation(self, rng):
+        protocol = SSME(ring_graph(6))
+        base = protocol.legitimate_configuration(0)
+        with pytest.raises(ExperimentError):
+            perturbed_configurations(protocol, base, -1, rng)
+        with pytest.raises(ExperimentError):
+            perturbed_configurations(protocol, base, 1, rng, corrupted_vertices=-1)
+
+    def test_perturbed_with_zero_corruption_returns_base(self, rng):
+        protocol = SSME(ring_graph(6))
+        base = protocol.legitimate_configuration(0)
+        configs = perturbed_configurations(protocol, base, 2, rng, corrupted_vertices=0)
+        assert all(config == base for config in configs)
+
+    def test_mutex_workload_contains_adversarial_configurations(self, rng):
+        protocol = SSME(ring_graph(6))
+        workload = mutex_workload(protocol, rng, random_count=2)
+        assert len(workload) == 4
+
+
+class TestDrivers:
+    def test_e1_figure1(self):
+        report = figure1_clock.run_experiment(ssme_sizes=[4, 6])
+        assert report.passed
+        assert report.experiment_id == "E1"
+        assert len(report.rows) == 3
+
+    def test_e2_speculative_examples(self):
+        report = table_speculative_examples.run_experiment(
+            dijkstra_sizes=[5, 9],
+            bfs_sizes=[6, 12],
+            matching_sizes=[6, 9],
+            configurations_per_graph=4,
+        )
+        assert report.experiment_id == "E2"
+        assert report.passed
+        for row in report.rows:
+            assert row["sync_steps"] <= row["unfair_steps"]
+
+    def test_e3_theorem2(self):
+        report = theorem2_sync_upper.run_experiment(
+            sweep=[("ring", 6), ("path", 7), ("star", 8)],
+            random_configurations_per_graph=3,
+        )
+        assert report.experiment_id == "E3"
+        assert report.passed
+        for row in report.rows:
+            assert row["measured_worst_steps"] <= row["bound_ceil_diam_over_2"]
+            assert row["reaches_bound"]
+
+    def test_e4_theorem3(self):
+        report = theorem3_async_upper.run_experiment(
+            sweep=[("ring", 5), ("star", 5)],
+            random_configurations_per_graph=2,
+        )
+        assert report.experiment_id == "E4"
+        assert report.passed
+        for row in report.rows:
+            assert row["unison_worst_steps"] <= row["theorem3_bound"]
+            assert row["mutex_worst_steps"] <= row["unison_worst_steps"]
+
+    def test_e5_theorem4(self):
+        report = theorem4_lower_bound.run_experiment(
+            sweep=[("ring", 8), ("grid", 9)], dijkstra_rings=[10]
+        )
+        assert report.experiment_id == "E5"
+        assert report.passed
+        for row in report.rows:
+            assert row["witnesses_found"] == row["delays_tested"]
+
+    def test_e6_dijkstra_comparison(self):
+        report = dijkstra_comparison.run_experiment(ring_sizes=[8, 12], configurations_per_graph=4)
+        assert report.experiment_id == "E6"
+        assert report.passed
+        for row in report.rows:
+            assert row["ssme_steps"] <= row["dijkstra_steps"]
+
+    def test_e7_ablation_privilege_spacing(self):
+        from repro.experiments import ablation_privilege_spacing
+
+        report = ablation_privilege_spacing.run_experiment(path_sizes=[7, 9])
+        assert report.experiment_id == "E7"
+        assert report.passed
+        for row in report.rows:
+            assert row["safe_in_gamma1"] == (row["spacing"] > row["diam"])
+            if not row["safe_in_gamma1"]:
+                assert row["violations_per_period"] >= 1
+
+
+class TestReporting:
+    def test_driver_registry_is_complete(self):
+        assert set(EXPERIMENT_DRIVERS) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7"}
+
+    def test_run_all_selected(self):
+        reports = run_all_experiments(only=["E1"])
+        assert len(reports) == 1
+        assert reports[0].experiment_id == "E1"
+
+    def test_render_markdown(self):
+        reports = run_all_experiments(only=["E1"])
+        markdown = render_experiments_markdown(reports)
+        assert "# EXPERIMENTS" in markdown
+        assert "### E1" in markdown
+        assert "PASS" in markdown

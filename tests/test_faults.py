@@ -1,0 +1,92 @@
+"""Unit tests for the structured fault models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SynchronousDaemon, measure_stabilization
+from repro.exceptions import ExperimentError
+from repro.experiments.faults import (
+    FAULT_MODELS,
+    apply_fault,
+    clock_skew_fault,
+    global_fault,
+    localized_burst_fault,
+    single_vertex_fault,
+)
+from repro.graphs import grid_graph, ring_graph
+from repro.mutex import SSME, DijkstraTokenRing, MutualExclusionSpec
+
+
+@pytest.fixture
+def protocol():
+    return SSME(grid_graph(3, 4))
+
+
+@pytest.fixture
+def base(protocol):
+    return protocol.legitimate_configuration(0)
+
+
+class TestFaultModels:
+    def test_single_vertex_fault_touches_at_most_one_vertex(self, protocol, base, rng):
+        faulted = single_vertex_fault(protocol, base, rng)
+        assert len(base.differing_vertices(faulted)) <= 1
+
+    def test_localized_burst_is_spatially_correlated(self, protocol, base, rng):
+        faulted = localized_burst_fault(protocol, base, rng, radius=1)
+        touched = base.differing_vertices(faulted)
+        if len(touched) >= 2:
+            # All corrupted vertices are within 2 hops of each other (they
+            # share an epicentre of radius 1).
+            for u in touched:
+                for v in touched:
+                    assert protocol.graph.distance(u, v) <= 2
+
+    def test_global_fault_is_reproducible(self, protocol, base):
+        a = global_fault(protocol, base, random.Random(5))
+        b = global_fault(protocol, base, random.Random(5))
+        assert a == b
+
+    def test_clock_skew_keeps_values_in_domain(self, protocol, base, rng):
+        faulted = clock_skew_fault(protocol, base, rng, max_skew=5)
+        for vertex in protocol.graph.vertices:
+            assert protocol.clock.contains(faulted[vertex])
+
+    def test_clock_skew_rejects_negative_skew(self, protocol, base, rng):
+        with pytest.raises(ExperimentError):
+            clock_skew_fault(protocol, base, rng, max_skew=-1)
+
+    def test_clock_skew_on_clockless_protocol_degrades_gracefully(self, rng):
+        dijkstra = DijkstraTokenRing.on_ring(5)
+        base = dijkstra.legitimate_configuration(0)
+        faulted = clock_skew_fault(dijkstra, base, rng)
+        assert len(base.differing_vertices(faulted)) <= 1
+
+    def test_apply_fault_by_name(self, protocol, base, rng):
+        for name in FAULT_MODELS:
+            faulted = apply_fault(name, protocol, base, rng)
+            assert set(faulted) == set(base)
+
+    def test_apply_unknown_fault(self, protocol, base, rng):
+        with pytest.raises(ExperimentError):
+            apply_fault("cosmic-ray", protocol, base, rng)
+
+
+class TestRecoveryFromEveryFaultModel:
+    def test_ssme_recovers_within_theorem2_bound(self, protocol, base, rng):
+        spec = MutualExclusionSpec(protocol)
+        bound = protocol.synchronous_stabilization_bound()
+        for name in FAULT_MODELS:
+            faulted = apply_fault(name, protocol, base, rng)
+            measurement = measure_stabilization(
+                protocol,
+                SynchronousDaemon(),
+                faulted,
+                spec,
+                horizon=protocol.K + 4 * protocol.alpha,
+            )
+            assert measurement.stabilized, name
+            assert measurement.stabilization_steps <= bound, name

@@ -1,0 +1,172 @@
+"""Unit tests for the immutable Graph type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import Graph, ring_graph
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        g = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.m == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_duplicate_vertices_are_ignored(self):
+        g = Graph([0, 1, 1, 0], [(0, 1)])
+        assert g.n == 2
+
+    def test_duplicate_edges_are_collapsed(self):
+        g = Graph([0, 1], [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1], [(0, 0)])
+
+    def test_edge_with_unknown_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1], [(0, 2)])
+
+    def test_empty_graph(self):
+        g = Graph([], [])
+        assert g.n == 0
+        assert g.m == 0
+        assert g.is_connected()
+
+    def test_non_integer_vertex_labels(self):
+        g = Graph(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert g.distance("a", "c") == 2
+
+
+class TestAccessors:
+    def test_neighbors(self):
+        g = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        assert g.neighbors(1) == frozenset({0, 2})
+        assert g.neighbors(0) == frozenset({1})
+
+    def test_neighbors_unknown_vertex(self):
+        g = Graph([0], [])
+        with pytest.raises(GraphError):
+            g.neighbors(7)
+
+    def test_degree(self):
+        g = Graph([0, 1, 2], [(0, 1), (0, 2)])
+        assert g.degree(0) == 2
+        assert g.degree(1) == 1
+
+    def test_contains_and_iteration(self):
+        g = Graph([0, 1, 2], [(0, 1)])
+        assert 0 in g
+        assert 7 not in g
+        assert sorted(g) == [0, 1, 2]
+        assert len(g) == 3
+
+    def test_contains_unhashable(self):
+        g = Graph([0], [])
+        assert [1, 2] not in g
+
+    def test_equality_and_hash(self):
+        g1 = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        g2 = Graph([2, 1, 0], [(1, 2), (0, 1)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        g3 = Graph([0, 1, 2], [(0, 1)])
+        assert g1 != g3
+
+    def test_repr(self):
+        assert repr(Graph([0, 1], [(0, 1)])) == "Graph(n=2, m=1)"
+
+    def test_sorted_vertices(self):
+        g = Graph([3, 1, 2], [(1, 2), (2, 3)])
+        assert list(g.sorted_vertices()) == [1, 2, 3]
+
+
+class TestTraversal:
+    def test_bfs_distances(self):
+        g = ring_graph(6)
+        dist = g.bfs_distances(0)
+        assert dist[0] == 0
+        assert dist[3] == 3
+        assert dist[5] == 1
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(GraphError):
+            ring_graph(4).bfs_distances(99)
+
+    def test_distance(self):
+        g = ring_graph(8)
+        assert g.distance(0, 4) == 4
+        assert g.distance(0, 7) == 1
+
+    def test_distance_disconnected(self):
+        g = Graph([0, 1, 2], [(0, 1)])
+        with pytest.raises(GraphError):
+            g.distance(0, 2)
+
+    def test_ball(self):
+        g = ring_graph(8)
+        assert g.ball(0, 0) == frozenset({0})
+        assert g.ball(0, 1) == frozenset({0, 1, 7})
+        assert g.ball(0, 2) == frozenset({0, 1, 2, 6, 7})
+
+    def test_ball_negative_radius(self):
+        with pytest.raises(GraphError):
+            ring_graph(4).ball(0, -1)
+
+    def test_is_connected(self):
+        assert ring_graph(5).is_connected()
+        assert not Graph([0, 1, 2], [(0, 1)]).is_connected()
+
+    def test_connected_components(self):
+        g = Graph([0, 1, 2, 3], [(0, 1), (2, 3)])
+        components = {frozenset(c) for c in g.connected_components()}
+        assert components == {frozenset({0, 1}), frozenset({2, 3})}
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self):
+        g = ring_graph(6)
+        sub = g.subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.m == 2
+        assert sub.has_edge(0, 1)
+        assert not sub.has_edge(0, 2)
+
+    def test_subgraph_unknown_vertex(self):
+        with pytest.raises(GraphError):
+            ring_graph(4).subgraph([0, 9])
+
+    def test_with_edge(self):
+        g = Graph([0, 1, 2], [(0, 1)])
+        g2 = g.with_edge(1, 2)
+        assert g2.has_edge(1, 2)
+        assert not g.has_edge(1, 2)  # original untouched
+
+    def test_without_edge(self):
+        g = ring_graph(4)
+        g2 = g.without_edge(0, 1)
+        assert not g2.has_edge(0, 1)
+        assert g.has_edge(0, 1)
+
+    def test_without_missing_edge(self):
+        with pytest.raises(GraphError):
+            ring_graph(4).without_edge(0, 2)
+
+    def test_relabel(self):
+        g = Graph([0, 1], [(0, 1)])
+        g2 = g.relabel({0: "a", 1: "b"})
+        assert g2.has_edge("a", "b")
+
+    def test_relabel_must_cover_everything(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1], [(0, 1)]).relabel({0: "a"})
+
+    def test_relabel_must_be_injective(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1], [(0, 1)]).relabel({0: "a", 1: "a"})

@@ -1,0 +1,160 @@
+"""Unit tests for the topology generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    TOPOLOGY_GENERATORS,
+    binary_tree_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    is_ring,
+    is_tree,
+    lollipop_graph,
+    make_topology,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    random_tree_graph,
+    ring_graph,
+    single_vertex_graph,
+    star_graph,
+    torus_graph,
+    wheel_graph,
+)
+
+
+class TestBasicShapes:
+    def test_single_vertex(self):
+        g = single_vertex_graph()
+        assert g.n == 1 and g.m == 0
+
+    def test_ring(self):
+        g = ring_graph(7)
+        assert g.n == 7 and g.m == 7
+        assert is_ring(g)
+        assert all(g.degree(v) == 2 for v in g.vertices)
+
+    def test_ring_degenerate_sizes(self):
+        assert ring_graph(1).n == 1
+        g2 = ring_graph(2)
+        assert g2.n == 2 and g2.m == 1
+
+    def test_path(self):
+        g = path_graph(6)
+        assert g.n == 6 and g.m == 5
+        assert is_tree(g)
+        assert g.distance(0, 5) == 5
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+        assert is_tree(g)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+        assert all(g.degree(v) == 4 for v in g.vertices)
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.n == 5 and g.m == 6
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+
+    def test_wheel(self):
+        g = wheel_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 3 for v in range(1, 6))
+
+
+class TestGridsAndCubes:
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical edges
+        assert g.distance(0, 11) == 5
+
+    def test_torus(self):
+        g = torus_graph(3, 3)
+        assert g.n == 9
+        assert all(g.degree(v) == 4 for v in g.vertices)
+
+    def test_torus_rejects_small(self):
+        with pytest.raises(GraphError):
+            torus_graph(2, 3)
+
+    def test_hypercube(self):
+        g = hypercube_graph(3)
+        assert g.n == 8 and g.m == 12
+        assert all(g.degree(v) == 3 for v in g.vertices)
+        assert g.distance(0, 7) == 3
+
+    def test_hypercube_dimension_zero(self):
+        assert hypercube_graph(0).n == 1
+
+
+class TestTreesAndRandom:
+    def test_binary_tree(self):
+        g = binary_tree_graph(7)
+        assert is_tree(g)
+        assert g.degree(0) == 2
+
+    def test_random_tree_is_tree(self):
+        g = random_tree_graph(20, random.Random(3))
+        assert is_tree(g)
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 2)
+        assert g.n == 4 + 8
+        assert is_tree(g)
+
+    def test_lollipop(self):
+        g = lollipop_graph(4, 3)
+        assert g.n == 7
+        assert g.distance(0, 6) == 4
+
+    def test_erdos_renyi_determinism(self):
+        g1 = erdos_renyi_graph(10, 0.3, random.Random(7))
+        g2 = erdos_renyi_graph(10, 0.3, random.Random(7))
+        assert g1 == g2
+
+    def test_erdos_renyi_probability_validation(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(5, 1.5)
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            g = random_connected_graph(15, 0.1, random.Random(seed))
+            assert g.is_connected()
+
+    def test_petersen(self):
+        g = petersen_graph()
+        assert g.n == 10 and g.m == 15
+        assert all(g.degree(v) == 3 for v in g.vertices)
+
+
+class TestTopologyRegistry:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_GENERATORS))
+    def test_every_registered_topology_is_connected(self, name):
+        g = make_topology(name, 9)
+        assert g.n >= 1
+        assert g.is_connected()
+
+    def test_unknown_topology(self):
+        with pytest.raises(GraphError):
+            make_topology("moebius", 8)
+
+    def test_vertices_are_consecutive_integers(self):
+        for name in TOPOLOGY_GENERATORS:
+            g = make_topology(name, 8)
+            assert set(g.vertices) == set(range(g.n))

@@ -1,0 +1,82 @@
+"""Property-based tests on graphs and their structural parameters."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    cyclomatic_characteristic_upper_bound,
+    diameter,
+    diameter_endpoints,
+    eccentricity,
+    graph_from_dict,
+    graph_to_dict,
+    hole_length,
+    longest_chordless_path_length,
+    radius,
+    random_connected_graph,
+)
+
+
+def connected_graphs():
+    """Strategy producing small connected random graphs."""
+    return st.tuples(st.integers(2, 12), st.floats(0.0, 0.6), st.integers(0, 10_000)).map(
+        lambda params: random_connected_graph(params[0], params[1], random.Random(params[2]))
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs())
+def test_radius_diameter_relationship(graph):
+    r, d = radius(graph), diameter(graph)
+    assert r <= d <= 2 * r
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs())
+def test_diameter_endpoints_achieve_the_diameter(graph):
+    u, v = diameter_endpoints(graph)
+    assert graph.distance(u, v) == diameter(graph)
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs())
+def test_eccentricity_bounds(graph):
+    d = diameter(graph)
+    for vertex in graph.vertices:
+        assert 0 <= eccentricity(graph, vertex) <= d
+
+
+@settings(max_examples=25, deadline=None)
+@given(connected_graphs())
+def test_hole_and_cyclo_are_bounded_by_n(graph):
+    assert 2 <= hole_length(graph) <= max(2, graph.n)
+    assert 2 <= cyclomatic_characteristic_upper_bound(graph) <= max(2, graph.n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(connected_graphs())
+def test_lcp_is_bounded(graph):
+    lcp = longest_chordless_path_length(graph)
+    assert 0 <= lcp <= graph.n
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs())
+def test_serialization_round_trip(graph):
+    assert graph_from_dict(graph_to_dict(graph)) == graph
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs())
+def test_bfs_distance_triangle_inequality(graph):
+    vertices = list(graph.vertices)[:5]
+    for a in vertices:
+        dist_a = graph.bfs_distances(a)
+        for b in vertices:
+            dist_b = graph.bfs_distances(b)
+            for c in vertices:
+                assert dist_a[c] <= dist_a[b] + dist_b[c]

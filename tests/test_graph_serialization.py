@@ -1,0 +1,66 @@
+"""Unit tests for graph serialization helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Graph,
+    adjacency_matrix,
+    graph_from_dict,
+    graph_from_edge_list,
+    graph_to_dict,
+    graph_to_dot,
+    graph_to_edge_list,
+    petersen_graph,
+    ring_graph,
+)
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        g = petersen_graph()
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_dict_shape(self):
+        data = graph_to_dict(ring_graph(3))
+        assert set(data) == {"vertices", "edges"}
+        assert sorted(data["vertices"]) == [0, 1, 2]
+        assert all(len(edge) == 2 for edge in data["edges"])
+
+    def test_missing_keys(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"vertices": [0]})
+
+    def test_isolated_vertices_survive(self):
+        g = Graph([0, 1, 2], [(0, 1)])
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+
+class TestEdgeList:
+    def test_round_trip_for_graphs_without_isolated_vertices(self):
+        g = ring_graph(5)
+        assert graph_from_edge_list(graph_to_edge_list(g)) == g
+
+    def test_edge_list_is_sorted(self):
+        edges = graph_to_edge_list(ring_graph(4))
+        assert edges == sorted(edges, key=repr)
+
+
+class TestDotAndMatrix:
+    def test_dot_output(self):
+        text = graph_to_dot(ring_graph(3), name="ring")
+        assert text.startswith("graph ring {")
+        assert text.count("--") == 3
+        assert text.endswith("}")
+
+    def test_adjacency_matrix(self):
+        g = ring_graph(4)
+        matrix = adjacency_matrix(g)
+        assert len(matrix) == 4
+        assert all(sum(row) == 2 for row in matrix)
+        for i in range(4):
+            for j in range(4):
+                assert matrix[i][j] == matrix[j][i]
+                assert matrix[i][j] == (1 if g.has_edge(g.vertices[i], g.vertices[j]) else 0)

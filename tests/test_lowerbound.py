@@ -1,0 +1,190 @@
+"""Unit tests for the Theorem 4 lower-bound machinery."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import synchronous_execution
+from repro.exceptions import ConstructionError
+from repro.graphs import Graph, diameter, grid_graph, path_graph, ring_graph
+from repro.lowerbound import (
+    adversarial_mutex_configurations,
+    check_local_indistinguishability,
+    construct_double_privilege_witness,
+    find_privileged_step,
+    immediate_double_privilege_configuration,
+    latest_violation_configuration,
+    local_state,
+    local_states_equal,
+    lower_bound_profile,
+    splice_configurations,
+)
+from repro.mutex import SSME, DijkstraTokenRing, MutualExclusionSpec
+from repro.unison import AsynchronousUnison
+
+
+class TestLocalStates:
+    def test_local_state_is_the_ball_restriction(self):
+        protocol = SSME(ring_graph(8))
+        gamma = protocol.default_configuration()
+        ls = local_state(gamma, protocol.graph, 0, 2)
+        assert set(ls) == {0, 1, 2, 6, 7}
+
+    def test_local_states_equal(self):
+        protocol = SSME(ring_graph(8))
+        gamma = protocol.default_configuration()
+        gamma2 = gamma.updated({4: 5})
+        assert local_states_equal(gamma, gamma2, protocol.graph, 0, 2)
+        assert not local_states_equal(gamma, gamma2, protocol.graph, 0, 4)
+
+    def test_lemma5_indistinguishability(self, rng):
+        """Executable Lemma 5: equal k-local states give equal restrictions
+        of the k-step synchronous prefixes."""
+        protocol = SSME(path_graph(9))
+        for k in (1, 2, 3):
+            gamma = protocol.random_configuration(rng)
+            # Change only states far from vertex 0 (distance > k).
+            far = [v for v in protocol.graph.vertices if protocol.graph.distance(0, v) > k]
+            changes = {v: protocol.random_state(v, rng) for v in far}
+            gamma_prime = gamma.updated(changes)
+            assert check_local_indistinguishability(protocol, gamma, gamma_prime, 0, k)
+
+    def test_lemma5_requires_equal_local_states(self, rng):
+        protocol = SSME(path_graph(5))
+        gamma = protocol.random_configuration(rng)
+        gamma_prime = gamma.updated({1: protocol.clock.phi(gamma[1])})
+        with pytest.raises(ConstructionError):
+            check_local_indistinguishability(protocol, gamma, gamma_prime, 0, 2)
+
+
+class TestSplicing:
+    def test_splice_disjoint_balls(self):
+        protocol = SSME(path_graph(9))
+        a = protocol.legitimate_configuration(3)
+        b = protocol.legitimate_configuration(7)
+        filler = protocol.legitimate_configuration(0)
+        spliced = splice_configurations(
+            protocol.graph, [(0, 2, a), (8, 2, b)], filler
+        )
+        assert spliced[0] == 3 and spliced[2] == 3
+        assert spliced[8] == 7 and spliced[6] == 7
+        assert spliced[4] == 0
+
+    def test_splice_rejects_overlapping_balls(self):
+        protocol = SSME(path_graph(5))
+        gamma = protocol.legitimate_configuration(0)
+        with pytest.raises(ConstructionError):
+            splice_configurations(protocol.graph, [(0, 2, gamma), (4, 2, gamma)], gamma)
+
+
+class TestFindPrivilegedStep:
+    def test_finds_the_expected_step(self):
+        protocol = SSME(ring_graph(6))
+        execution = synchronous_execution(
+            protocol, protocol.default_configuration(), protocol.K + 4
+        )
+        step = find_privileged_step(protocol, execution, 2, after=0)
+        # From the all-zero configuration every clock advances together, so
+        # vertex 2 is privileged exactly when the common value reaches its
+        # privileged value.
+        assert step == protocol.privileged_value(2)
+
+    def test_returns_none_when_never_privileged(self):
+        protocol = SSME(ring_graph(6))
+        execution = synchronous_execution(protocol, protocol.default_configuration(), 3)
+        assert find_privileged_step(protocol, execution, 2, after=0) is None
+
+    def test_requires_privilege_aware_protocol(self):
+        unison = AsynchronousUnison(ring_graph(4))
+        execution = synchronous_execution(unison, unison.legitimate_configuration(0), 3)
+        with pytest.raises(ConstructionError):
+            find_privileged_step(unison, execution, 0, after=0)
+
+
+class TestWitnessConstruction:
+    @pytest.mark.parametrize(
+        "graph",
+        [ring_graph(10), path_graph(9), grid_graph(4, 4)],
+        ids=["ring10", "path9", "grid4x4"],
+    )
+    def test_every_admissible_delay_has_a_witness(self, graph):
+        protocol = SSME(graph)
+        bound = math.ceil(protocol.diam / 2)
+        witnesses = lower_bound_profile(protocol)
+        assert len(witnesses) == bound
+        assert all(w.success for w in witnesses)
+        for t, witness in enumerate(witnesses):
+            assert witness.t == t
+            assert len(witness.privileged_at_t) == 2
+
+    def test_witness_violates_safety_at_exactly_t(self):
+        protocol = SSME(path_graph(9))
+        spec = MutualExclusionSpec(protocol)
+        t = math.ceil(protocol.diam / 2) - 1
+        witness = construct_double_privilege_witness(protocol, t)
+        execution = synchronous_execution(protocol, witness.initial_configuration, t)
+        assert not spec.is_safe(execution.configuration(t), protocol)
+
+    def test_rejects_overlapping_delays(self):
+        protocol = SSME(ring_graph(8))  # diam 4
+        with pytest.raises(ConstructionError):
+            construct_double_privilege_witness(protocol, 2)  # 2t >= diam
+
+    def test_rejects_single_vertex_graph(self):
+        protocol = SSME(Graph([0], []))
+        with pytest.raises(ConstructionError):
+            construct_double_privilege_witness(protocol, 0)
+
+    def test_rejects_negative_inputs(self):
+        protocol = SSME(ring_graph(8))
+        with pytest.raises(ConstructionError):
+            construct_double_privilege_witness(protocol, -1)
+        with pytest.raises(ConstructionError):
+            construct_double_privilege_witness(protocol, 0, privilege_radius=-1)
+
+    def test_dijkstra_witness_with_privilege_radius(self):
+        protocol = DijkstraTokenRing.on_ring(12)
+        witness = construct_double_privilege_witness(protocol, 1, privilege_radius=1)
+        assert witness.success
+
+    def test_explicit_endpoints_too_close(self):
+        protocol = SSME(path_graph(9))
+        with pytest.raises(ConstructionError):
+            construct_double_privilege_witness(protocol, 3, endpoints=(0, 2))
+
+
+class TestAdversarialWorkloads:
+    def test_immediate_double_privilege(self):
+        protocol = SSME(ring_graph(8))
+        spec = MutualExclusionSpec(protocol)
+        gamma = immediate_double_privilege_configuration(protocol)
+        assert not spec.is_safe(gamma, protocol)
+
+    def test_immediate_double_privilege_needs_ssme_like_protocol(self):
+        protocol = DijkstraTokenRing.on_ring(6)
+        with pytest.raises(ConstructionError):
+            immediate_double_privilege_configuration(protocol)
+
+    def test_latest_violation_configuration_realizes_the_bound(self):
+        protocol = SSME(path_graph(9))
+        spec = MutualExclusionSpec(protocol)
+        gamma = latest_violation_configuration(protocol)
+        bound = protocol.synchronous_stabilization_bound()
+        execution = synchronous_execution(protocol, gamma, bound)
+        assert not spec.is_safe(execution.configuration(bound - 1), protocol)
+        assert spec.is_safe(execution.configuration(bound), protocol)
+
+    def test_adversarial_workload_composition(self, rng):
+        protocol = SSME(ring_graph(8))
+        workload = adversarial_mutex_configurations(protocol, rng, random_count=3)
+        assert len(workload) == 5  # 3 random + immediate + spliced
+
+    def test_adversarial_workload_without_spliced(self, rng):
+        protocol = SSME(ring_graph(8))
+        workload = adversarial_mutex_configurations(
+            protocol, rng, random_count=2, include_spliced=False
+        )
+        assert len(workload) == 3

@@ -1,0 +1,188 @@
+"""Unit tests for the Manne et al. maximal matching baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    CentralDaemon,
+    DistributedDaemon,
+    LocallyCentralDaemon,
+    Simulator,
+    SynchronousDaemon,
+)
+from repro.exceptions import ProtocolError, SpecificationError
+from repro.graphs import complete_graph, grid_graph, path_graph, random_connected_graph, ring_graph, star_graph
+from repro.baselines import MatchingState, MaximalMatching, MaximalMatchingSpec
+from repro.mutex import DijkstraTokenRing
+
+
+class TestMatchingState:
+    def test_equality_and_hash(self):
+        a = MatchingState(pointer=1, married=False)
+        b = MatchingState(pointer=1, married=False)
+        c = MatchingState(pointer=None, married=False)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not-a-state"
+
+    def test_repr(self):
+        assert "pointer=1" in repr(MatchingState(1, True))
+
+
+class TestConstruction:
+    def test_state_validation(self):
+        protocol = MaximalMatching(path_graph(3))
+        with pytest.raises(ProtocolError):
+            protocol.validate_state(0, "nope")
+        with pytest.raises(ProtocolError):
+            protocol.validate_state(0, MatchingState(pointer=2, married=False))  # 2 not a neighbour of 0
+
+    def test_default_state(self):
+        protocol = MaximalMatching(path_graph(3))
+        state = protocol.default_state(0)
+        assert state.pointer is None and not state.married
+
+    def test_spec_requires_matching_protocol(self):
+        with pytest.raises(SpecificationError):
+            MaximalMatchingSpec(DijkstraTokenRing.on_ring(4))
+
+
+class TestRules:
+    def test_seduction_points_to_larger_free_neighbor(self):
+        protocol = MaximalMatching(path_graph(3))
+        gamma = protocol.default_configuration()
+        # Vertex 0's only larger free neighbour is 1.
+        rules = protocol.enabled_rules(gamma, 0)
+        assert [r.name for r in rules] == ["Seduction"]
+        gamma2, _ = protocol.apply(gamma, [0])
+        assert gamma2[0].pointer == 1
+
+    def test_marriage_points_back(self):
+        protocol = MaximalMatching(path_graph(2))
+        gamma = protocol.configuration(
+            {0: MatchingState(1, False), 1: MatchingState(None, False)}
+        )
+        rules = protocol.enabled_rules(gamma, 1)
+        assert [r.name for r in rules] == ["Marriage"]
+        gamma2, _ = protocol.apply(gamma, [1])
+        assert gamma2[1].pointer == 0
+
+    def test_update_fixes_cache_bit(self):
+        protocol = MaximalMatching(path_graph(2))
+        gamma = protocol.configuration(
+            {0: MatchingState(1, False), 1: MatchingState(0, False)}
+        )
+        for vertex in (0, 1):
+            rules = protocol.enabled_rules(gamma, vertex)
+            assert [r.name for r in rules] == ["Update"]
+        gamma2, _ = protocol.apply(gamma, [0, 1])
+        assert gamma2[0].married and gamma2[1].married
+
+    def test_abandonment_of_married_target(self):
+        protocol = MaximalMatching(path_graph(3))
+        # Vertex 0 points at 1, but 1 is married to 2.
+        gamma = protocol.configuration(
+            {
+                0: MatchingState(1, False),
+                1: MatchingState(2, True),
+                2: MatchingState(1, True),
+            }
+        )
+        rules = protocol.enabled_rules(gamma, 0)
+        assert [r.name for r in rules] == ["Abandonment"]
+        gamma2, _ = protocol.apply(gamma, [0])
+        assert gamma2[0].pointer is None
+
+    def test_matched_edges_extraction(self):
+        protocol = MaximalMatching(path_graph(4))
+        gamma = protocol.configuration(
+            {
+                0: MatchingState(1, True),
+                1: MatchingState(0, True),
+                2: MatchingState(1, False),
+                3: MatchingState(None, False),
+            }
+        )
+        assert protocol.matched_edges(gamma) == frozenset({(0, 1)})
+        assert not protocol.is_maximal_matching(gamma)  # edge (2, 3) uncovered
+
+
+class TestLegitimacy:
+    def test_legitimate_configuration(self):
+        protocol = MaximalMatching(path_graph(4))
+        spec = MaximalMatchingSpec(protocol)
+        gamma = protocol.configuration(
+            {
+                0: MatchingState(1, True),
+                1: MatchingState(0, True),
+                2: MatchingState(3, True),
+                3: MatchingState(2, True),
+            }
+        )
+        assert spec.is_safe(gamma, protocol)
+        assert protocol.is_terminal(gamma)
+
+    def test_dangling_pointer_is_not_legitimate(self):
+        protocol = MaximalMatching(path_graph(4))
+        spec = MaximalMatchingSpec(protocol)
+        gamma = protocol.configuration(
+            {
+                0: MatchingState(1, True),
+                1: MatchingState(0, True),
+                2: MatchingState(1, False),
+                3: MatchingState(None, False),
+            }
+        )
+        assert not spec.is_safe(gamma, protocol)
+
+
+class TestConvergence:
+    GRAPHS = {
+        "path6": path_graph(6),
+        "ring7": ring_graph(7),
+        "star6": star_graph(6),
+        "grid3x3": grid_graph(3, 3),
+        "complete5": complete_graph(5),
+        "random12": random_connected_graph(12, 0.25, random.Random(5)),
+    }
+
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    @pytest.mark.parametrize(
+        "daemon_factory",
+        [SynchronousDaemon, CentralDaemon, lambda: DistributedDaemon(0.5), LocallyCentralDaemon],
+        ids=["sd", "cd", "dd", "lcd"],
+    )
+    def test_terminal_configurations_are_maximal_matchings(self, graph_name, daemon_factory, rng):
+        graph = self.GRAPHS[graph_name]
+        protocol = MaximalMatching(graph)
+        spec = MaximalMatchingSpec(protocol)
+        for _ in range(3):
+            gamma = protocol.random_configuration(rng)
+            simulator = Simulator(protocol, daemon_factory(), rng=random.Random(rng.randrange(2**32)))
+            execution = simulator.run_until_terminal(
+                gamma, max_steps=30 * (graph.n + graph.m) + 200
+            )
+            final = execution.final
+            assert protocol.is_maximal_matching(final)
+            assert spec.is_safe(final, protocol)
+
+    def test_step_counts_have_the_papers_shape(self, rng):
+        """Section 3: about 4n+2m steps sequentially vs 2n+1 synchronously."""
+        graph = random_connected_graph(14, 0.2, random.Random(2))
+        protocol = MaximalMatching(graph)
+        budget_sequential = 4 * graph.n + 2 * graph.m
+        budget_synchronous = 2 * graph.n + 1
+        for _ in range(3):
+            gamma = protocol.random_configuration(rng)
+            sync_exec = Simulator(protocol, SynchronousDaemon()).run_until_terminal(
+                gamma, max_steps=10 * budget_synchronous
+            )
+            assert sync_exec.steps <= 2 * budget_synchronous
+            seq_exec = Simulator(
+                protocol, CentralDaemon(), rng=random.Random(9)
+            ).run_until_terminal(gamma, max_steps=10 * budget_sequential)
+            assert seq_exec.steps <= 2 * budget_sequential

@@ -1,0 +1,59 @@
+"""Unit tests for the mutual-exclusion service metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import synchronous_execution
+from repro.exceptions import SpecificationError
+from repro.graphs import ring_graph
+from repro.mutex import SSME, DijkstraTokenRing, service_metrics
+from repro.unison import AsynchronousUnison
+
+
+class TestServiceMetrics:
+    def test_requires_privilege_aware_protocol(self):
+        unison = AsynchronousUnison(ring_graph(4))
+        execution = synchronous_execution(unison, unison.legitimate_configuration(0), 3)
+        with pytest.raises(SpecificationError):
+            service_metrics(execution, unison)
+
+    def test_start_bounds(self):
+        protocol = SSME(ring_graph(4))
+        execution = synchronous_execution(protocol, protocol.legitimate_configuration(0), 5)
+        with pytest.raises(SpecificationError):
+            service_metrics(execution, protocol, start=99)
+
+    def test_stabilized_ssme_serves_everybody_fairly(self):
+        protocol = SSME(ring_graph(5))
+        horizon = 2 * protocol.K + 10
+        execution = synchronous_execution(protocol, protocol.legitimate_configuration(0), horizon)
+        metrics = service_metrics(execution, protocol)
+        assert metrics.starved_vertices == []
+        assert metrics.total_entries >= protocol.graph.n
+        # Every process is served once per clock period, so the gap between
+        # two consecutive services of the same process is about K.
+        assert metrics.max_gap is not None
+        assert metrics.max_gap <= protocol.K + protocol.diam + 1
+        assert metrics.jains_fairness > 0.9
+        assert "fairness" in repr(metrics)
+
+    def test_empty_window(self):
+        protocol = SSME(ring_graph(4))
+        execution = synchronous_execution(protocol, protocol.default_configuration(), 2)
+        metrics = service_metrics(execution, protocol)
+        assert metrics.total_entries == 0
+        assert metrics.max_gap is None
+        assert metrics.mean_gap is None
+        assert metrics.jains_fairness == 1.0
+        assert set(metrics.starved_vertices) == set(protocol.graph.vertices)
+
+    def test_dijkstra_round_robin_service(self):
+        protocol = DijkstraTokenRing.on_ring(6)
+        execution = synchronous_execution(
+            protocol, protocol.legitimate_configuration(0), 4 * protocol.graph.n
+        )
+        metrics = service_metrics(execution, protocol)
+        assert metrics.starved_vertices == []
+        assert metrics.jains_fairness > 0.9
+        assert metrics.max_gap <= protocol.graph.n + 1

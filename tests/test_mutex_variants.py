@@ -1,0 +1,133 @@
+"""Unit tests for the parametric SSME variants (ablation support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SynchronousDaemon, Simulator
+from repro.exceptions import ProtocolError
+from repro.experiments.ablation_privilege_spacing import adversarial_identity_assignment
+from repro.graphs import diameter, path_graph, ring_graph, star_graph
+from repro.mutex import (
+    SSME,
+    MutualExclusionSpec,
+    ParametricClockMutex,
+    minimal_safe_clock_size,
+    minimal_safe_spacing,
+)
+
+
+class TestHelpers:
+    def test_minimal_safe_spacing(self):
+        assert minimal_safe_spacing(0) == 1
+        assert minimal_safe_spacing(5) == 6
+
+    def test_minimal_safe_clock_size(self):
+        # first = 2n, last = 2n + spacing(n-1); K = last + diam + 1.
+        assert minimal_safe_clock_size(4, 3, 6) == 8 + 18 + 4
+
+
+class TestConstruction:
+    def test_defaults_match_ssme_spacing(self):
+        graph = ring_graph(8)
+        protocol = ParametricClockMutex(graph)
+        ssme = SSME(graph)
+        assert protocol.spacing == 2 * ssme.diam
+        for vertex in graph.vertices:
+            assert protocol.privileged_value(vertex) == ssme.privileged_value(vertex)
+
+    def test_invalid_parameters(self):
+        graph = path_graph(5)
+        with pytest.raises(ProtocolError):
+            ParametricClockMutex(graph, spacing=0)
+        with pytest.raises(ProtocolError):
+            ParametricClockMutex(graph, first_value=0)
+        with pytest.raises(ProtocolError):
+            ParametricClockMutex(graph, spacing=4, K=12)  # cannot fit the values
+
+    def test_identity_validation(self):
+        graph = path_graph(4)
+        with pytest.raises(ProtocolError):
+            ParametricClockMutex(graph, identities={0: 0, 1: 1, 2: 2})  # missing vertex
+        with pytest.raises(ProtocolError):
+            ParametricClockMutex(graph, identities={0: 0, 1: 1, 2: 2, 3: 5})  # not 0..n-1
+
+    def test_explicit_identities(self):
+        graph = path_graph(4)
+        protocol = ParametricClockMutex(graph, identities={0: 3, 1: 2, 2: 1, 3: 0})
+        assert protocol.privileged_value(3) < protocol.privileged_value(0)
+
+    def test_unknown_vertex(self):
+        protocol = ParametricClockMutex(path_graph(4))
+        with pytest.raises(ProtocolError):
+            protocol.privileged_value(9)
+
+
+class TestSafetyAnalysis:
+    def test_paper_parameters_are_safe_on_every_topology(self):
+        for graph in (ring_graph(8), path_graph(9), star_graph(7)):
+            protocol = ParametricClockMutex(graph)
+            assert protocol.guarantees_safety_in_gamma1()
+            assert protocol.conflicting_pair() is None
+            with pytest.raises(ProtocolError):
+                protocol.unsafe_legitimate_configuration()
+
+    def test_small_spacing_with_adversarial_identities_is_unsafe(self):
+        graph = path_graph(9)
+        diam = diameter(graph)
+        identities = adversarial_identity_assignment(graph)
+        protocol = ParametricClockMutex(graph, spacing=diam, identities=identities)
+        assert not protocol.guarantees_safety_in_gamma1()
+        pair = protocol.conflicting_pair()
+        assert pair is not None
+
+    def test_unsafe_legitimate_configuration_is_legitimate_and_unsafe(self):
+        graph = path_graph(9)
+        diam = diameter(graph)
+        identities = adversarial_identity_assignment(graph)
+        protocol = ParametricClockMutex(graph, spacing=diam, identities=identities)
+        spec = MutualExclusionSpec(protocol)
+        gamma = protocol.unsafe_legitimate_configuration()
+        assert protocol.is_legitimate(gamma)
+        assert not spec.is_safe(gamma, protocol)
+
+    def test_violation_happens_after_full_unison_stabilization(self):
+        """With a too-small spacing the safety failure is not a transient:
+        it occurs in a configuration the unison substrate considers fully
+        stabilized (member of Γ₁), so closure of spec_ME fails."""
+        graph = path_graph(7)
+        diam = diameter(graph)
+        identities = adversarial_identity_assignment(graph)
+        protocol = ParametricClockMutex(graph, spacing=diam, identities=identities)
+        spec = MutualExclusionSpec(protocol)
+        gamma = protocol.unsafe_legitimate_configuration()
+        execution = Simulator(protocol, SynchronousDaemon()).run(gamma, max_steps=protocol.K)
+        assert protocol.is_legitimate(execution.initial)
+        assert not spec.is_safe(execution.initial, protocol)
+        # Every configuration of the run stays in Γ₁ (unison closure), yet the
+        # run starts with a mutual-exclusion violation.
+        for index in range(execution.steps + 1):
+            assert protocol.is_legitimate(execution.configuration(index))
+
+    def test_safe_spacing_boundary(self):
+        graph = path_graph(9)
+        diam = diameter(graph)
+        identities = adversarial_identity_assignment(graph)
+        unsafe = ParametricClockMutex(graph, spacing=diam, identities=identities)
+        safe = ParametricClockMutex(graph, spacing=diam + 1, identities=identities)
+        assert not unsafe.guarantees_safety_in_gamma1()
+        assert safe.guarantees_safety_in_gamma1()
+
+
+class TestAdversarialIdentityAssignment:
+    def test_is_a_bijection(self):
+        graph = ring_graph(9)
+        identities = adversarial_identity_assignment(graph)
+        assert sorted(identities.values()) == list(range(graph.n))
+        assert set(identities.keys()) == set(graph.vertices)
+
+    def test_consecutive_identities_are_far_apart_on_paths(self):
+        graph = path_graph(11)
+        identities = adversarial_identity_assignment(graph)
+        by_identity = {identity: vertex for vertex, identity in identities.items()}
+        assert graph.distance(by_identity[0], by_identity[1]) == diameter(graph)

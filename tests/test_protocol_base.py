@@ -1,0 +1,136 @@
+"""Unit tests for the Protocol base class, exercised through a toy protocol."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import pytest
+
+from repro.core import Configuration, LocalView, Protocol, Rule
+from repro.exceptions import ProtocolError
+from repro.graphs import Graph, path_graph, ring_graph
+
+
+class CountdownProtocol(Protocol):
+    """A toy silent protocol: every vertex decrements its counter to 0."""
+
+    name = "countdown"
+
+    def __init__(self, graph: Graph, ceiling: int = 5) -> None:
+        super().__init__(graph)
+        self.ceiling = ceiling
+        self._rules = [
+            Rule("dec", lambda view: view.state > 0, lambda view: view.state - 1)
+        ]
+
+    def rules(self) -> Sequence[Rule]:
+        return self._rules
+
+    def random_state(self, vertex, rng: random.Random) -> int:
+        return rng.randrange(self.ceiling + 1)
+
+    def validate_state(self, vertex, state) -> None:
+        if not isinstance(state, int) or not 0 <= state <= self.ceiling:
+            raise ProtocolError(f"bad state {state!r}")
+
+
+@pytest.fixture
+def protocol() -> CountdownProtocol:
+    return CountdownProtocol(path_graph(3))
+
+
+class TestConstruction:
+    def test_requires_connected_graph(self):
+        with pytest.raises(ProtocolError):
+            CountdownProtocol(Graph([0, 1], []))
+
+    def test_requires_non_empty_graph(self):
+        with pytest.raises(ProtocolError):
+            CountdownProtocol(Graph([], []))
+
+    def test_graph_property(self, protocol):
+        assert protocol.graph.n == 3
+
+
+class TestConfigurations:
+    def test_configuration_round_trip(self, protocol):
+        gamma = protocol.configuration({0: 1, 1: 2, 2: 0})
+        assert gamma[1] == 2
+
+    def test_configuration_missing_vertex(self, protocol):
+        with pytest.raises(ProtocolError):
+            protocol.configuration({0: 1, 1: 2})
+
+    def test_configuration_unknown_vertex(self, protocol):
+        with pytest.raises(ProtocolError):
+            protocol.configuration({0: 1, 1: 2, 2: 0, 7: 3})
+
+    def test_configuration_validates_states(self, protocol):
+        with pytest.raises(ProtocolError):
+            protocol.configuration({0: 1, 1: 99, 2: 0})
+
+    def test_random_configuration_is_reproducible(self, protocol):
+        a = protocol.random_configuration(random.Random(3))
+        b = protocol.random_configuration(random.Random(3))
+        assert a == b
+
+    def test_default_configuration(self, protocol):
+        gamma = protocol.default_configuration()
+        assert set(gamma) == {0, 1, 2}
+
+
+class TestEnabledness:
+    def test_enabled_rules_and_vertices(self, protocol):
+        gamma = protocol.configuration({0: 0, 1: 2, 2: 0})
+        assert protocol.is_enabled(gamma, 1)
+        assert not protocol.is_enabled(gamma, 0)
+        assert protocol.enabled_vertices(gamma) == frozenset({1})
+        assert [r.name for r in protocol.enabled_rules(gamma, 1)] == ["dec"]
+
+    def test_terminal_configuration(self, protocol):
+        gamma = protocol.configuration({0: 0, 1: 0, 2: 0})
+        assert protocol.is_terminal(gamma)
+
+    def test_apply_single_vertex(self, protocol):
+        gamma = protocol.configuration({0: 1, 1: 2, 2: 0})
+        gamma2, records = protocol.apply(gamma, [1])
+        assert gamma2[1] == 1
+        assert gamma2[0] == 1
+        assert len(records) == 1
+        assert records[0].rule_name == "dec"
+        assert records[0].changed
+
+    def test_apply_simultaneous(self, protocol):
+        gamma = protocol.configuration({0: 1, 1: 2, 2: 3})
+        gamma2, records = protocol.apply(gamma, [0, 1, 2])
+        assert dict(gamma2) == {0: 0, 1: 1, 2: 2}
+        assert len(records) == 3
+
+    def test_apply_ignores_disabled_vertices(self, protocol):
+        gamma = protocol.configuration({0: 0, 1: 2, 2: 0})
+        gamma2, records = protocol.apply(gamma, [0, 1])
+        assert len(records) == 1
+        assert gamma2[0] == 0
+
+    def test_apply_unknown_vertex(self, protocol):
+        gamma = protocol.default_configuration()
+        with pytest.raises(ProtocolError):
+            protocol.apply(gamma, [99])
+
+    def test_apply_with_no_changes_returns_same_object(self, protocol):
+        gamma = protocol.configuration({0: 0, 1: 0, 2: 0})
+        gamma2, records = protocol.apply(gamma, [0])
+        assert gamma2 is gamma
+        assert records == []
+
+
+class TestActivationRecord:
+    def test_record_fields(self, protocol):
+        gamma = protocol.configuration({0: 2, 1: 0, 2: 0})
+        _, records = protocol.apply(gamma, [0])
+        record = records[0]
+        assert record.vertex == 0
+        assert record.old_state == 2
+        assert record.new_state == 1
+        assert "dec" in repr(record)

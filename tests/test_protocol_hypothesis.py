@@ -1,0 +1,101 @@
+"""Property-based tests on the protocols' key invariants.
+
+These check, over randomly drawn topologies, initial configurations and
+daemon schedules, the invariants the paper's correctness arguments rely on:
+
+* the unison/SSME registers always stay inside ``cherry(alpha, K)``;
+* Γ₁ is closed under every selection (closure of spec_AU);
+* inside Γ₁ at most one SSME vertex is privileged (Theorem 1's core);
+* Dijkstra's legitimate configurations keep exactly one privilege;
+* the matching protocol's terminal configurations are maximal matchings.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import MaximalMatching
+from repro.core import DistributedDaemon, Simulator, SynchronousDaemon
+from repro.graphs import random_connected_graph, ring_graph
+from repro.mutex import SSME, DijkstraTokenRing
+from repro.unison import AsynchronousUnison
+
+
+def small_connected_graphs(min_n: int = 2, max_n: int = 9):
+    return st.tuples(st.integers(min_n, max_n), st.floats(0.0, 0.5), st.integers(0, 10_000)).map(
+        lambda params: random_connected_graph(params[0], params[1], random.Random(params[2]))
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_connected_graphs(), st.integers(0, 10_000), st.integers(5, 40))
+def test_unison_states_stay_in_clock_domain(graph, seed, steps):
+    protocol = AsynchronousUnison(graph, validate_parameters=False)
+    rng = random.Random(seed)
+    simulator = Simulator(protocol, DistributedDaemon(0.5), rng=random.Random(seed + 1))
+    execution = simulator.run(protocol.random_configuration(rng), max_steps=steps)
+    for configuration in execution.configurations:
+        for vertex in graph.vertices:
+            assert protocol.clock.contains(configuration[vertex])
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_connected_graphs(), st.integers(0, 10_000), st.integers(5, 60))
+def test_gamma1_is_closed_under_arbitrary_selections(graph, seed, steps):
+    protocol = SSME(graph)
+    rng = random.Random(seed)
+    gamma = protocol.legitimate_configuration(rng.randrange(protocol.K))
+    for _ in range(steps):
+        assert protocol.is_legitimate(gamma)
+        # At most one privileged vertex inside Γ₁ (Theorem 1).
+        assert len(protocol.privileged_vertices(gamma)) <= 1
+        enabled = protocol.enabled_vertices(gamma)
+        assert enabled, "a legitimate SSME configuration always has enabled vertices"
+        selection = [v for v in enabled if rng.random() < 0.5] or [
+            sorted(enabled, key=repr)[0]
+        ]
+        gamma, _ = protocol.apply(gamma, selection)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_connected_graphs(min_n=2, max_n=8), st.integers(0, 10_000))
+def test_ssme_synchronous_stabilization_respects_theorem2(graph, seed):
+    protocol = SSME(graph)
+    from repro.core import measure_stabilization
+    from repro.mutex import MutualExclusionSpec
+
+    spec = MutualExclusionSpec(protocol)
+    gamma = protocol.random_configuration(random.Random(seed))
+    measurement = measure_stabilization(
+        protocol, SynchronousDaemon(), gamma, spec, horizon=protocol.K + 4 * protocol.alpha
+    )
+    assert measurement.stabilized
+    assert measurement.stabilization_steps <= protocol.synchronous_stabilization_bound()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 10), st.integers(0, 10_000), st.integers(5, 40))
+def test_dijkstra_legitimate_configurations_keep_one_privilege(n, seed, steps):
+    protocol = DijkstraTokenRing.on_ring(n)
+    rng = random.Random(seed)
+    gamma = protocol.legitimate_configuration(rng.randrange(protocol.K))
+    for _ in range(steps):
+        assert len(protocol.privileged_vertices(gamma)) == 1
+        enabled = protocol.enabled_vertices(gamma)
+        selection = [v for v in enabled if rng.random() < 0.7] or [next(iter(enabled))]
+        gamma, _ = protocol.apply(gamma, selection)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_connected_graphs(min_n=2, max_n=8), st.integers(0, 10_000))
+def test_matching_terminal_configurations_are_maximal_matchings(graph, seed):
+    protocol = MaximalMatching(graph)
+    rng = random.Random(seed)
+    simulator = Simulator(protocol, DistributedDaemon(0.5), rng=random.Random(seed + 1))
+    execution = simulator.run_until_terminal(
+        protocol.random_configuration(rng), max_steps=60 * (graph.n + graph.m) + 300
+    )
+    assert protocol.is_maximal_matching(execution.final)

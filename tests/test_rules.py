@@ -1,0 +1,67 @@
+"""Unit tests for LocalView and Rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Configuration, LocalView, Rule, make_rule
+from repro.exceptions import ProtocolError
+from repro.graphs import path_graph
+
+
+class TestLocalView:
+    def test_from_configuration(self):
+        graph = path_graph(3)
+        gamma = Configuration({0: 10, 1: 20, 2: 30})
+        view = LocalView.from_configuration(gamma, 1, graph)
+        assert view.vertex == 1
+        assert view.state == 20
+        assert view.neighbor_states == {0: 10, 2: 30}
+        assert view.neighbors == frozenset({0, 2})
+
+    def test_endpoint_has_single_neighbor(self):
+        graph = path_graph(3)
+        gamma = Configuration({0: 10, 1: 20, 2: 30})
+        view = LocalView.from_configuration(gamma, 0, graph)
+        assert view.neighbor_states == {1: 20}
+
+    def test_neighbor_values_sorted(self):
+        graph = path_graph(3)
+        gamma = Configuration({0: 10, 1: 20, 2: 30})
+        view = LocalView.from_configuration(gamma, 1, graph)
+        assert view.neighbor_values() == [10, 30]
+
+    def test_view_does_not_expose_non_neighbors(self):
+        graph = path_graph(4)
+        gamma = Configuration({0: 1, 1: 2, 2: 3, 3: 4})
+        view = LocalView.from_configuration(gamma, 0, graph)
+        assert 2 not in view.neighbor_states
+        assert 3 not in view.neighbor_states
+
+
+class TestRule:
+    def test_guard_and_action(self):
+        rule = Rule(
+            "incr",
+            guard=lambda view: view.state < 5,
+            action=lambda view: view.state + 1,
+        )
+        graph = path_graph(2)
+        view = LocalView.from_configuration(Configuration({0: 3, 1: 9}), 0, graph)
+        assert rule.is_enabled(view)
+        assert rule.apply(view) == 4
+
+    def test_disabled_guard(self):
+        rule = Rule("noop", guard=lambda view: False, action=lambda view: view.state)
+        graph = path_graph(2)
+        view = LocalView.from_configuration(Configuration({0: 3, 1: 9}), 0, graph)
+        assert not rule.is_enabled(view)
+
+    def test_rule_requires_name(self):
+        with pytest.raises(ProtocolError):
+            Rule("", guard=lambda v: True, action=lambda v: v.state)
+
+    def test_make_rule(self):
+        rule = make_rule("r", lambda v: True, lambda v: 0)
+        assert rule.name == "r"
+        assert repr(rule) == "Rule('r')"

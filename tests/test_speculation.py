@@ -1,0 +1,116 @@
+"""Unit tests for the speculative-stabilization analysis (Definition 4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    AdversarialCentralDaemon,
+    SynchronousDaemon,
+    measure_speculation,
+    run_speculation_study,
+)
+from repro.exceptions import SimulationError
+from repro.graphs import diameter, ring_graph
+from repro.mutex import DijkstraTokenRing, MutualExclusionSpec
+from repro.experiments.workloads import random_configurations
+
+
+class TestMeasureSpeculation:
+    def test_single_graph_measurement(self, rng):
+        protocol = DijkstraTokenRing.on_ring(6)
+        spec = MutualExclusionSpec(protocol)
+        configurations = random_configurations(protocol, 4, rng)
+        measurement = measure_speculation(
+            protocol=protocol,
+            specification=spec,
+            strong_daemon_factory=AdversarialCentralDaemon,
+            weak_daemon_factory=SynchronousDaemon,
+            initial_configurations=configurations,
+            strong_horizon=400,
+            weak_horizon=60,
+            strong_bound=6 * 6,
+            weak_bound=3 * 6,
+        )
+        assert measurement.strong.max_steps is not None
+        assert measurement.weak.max_steps is not None
+        assert measurement.weak.max_steps <= measurement.strong.max_steps
+        assert measurement.speculation_factor is not None
+        assert measurement.speculation_factor >= 1.0
+        assert measurement.strong.daemon_name == "cd-adv"
+        assert measurement.weak.daemon_name == "sd"
+
+    def test_requires_configurations(self):
+        protocol = DijkstraTokenRing.on_ring(5)
+        spec = MutualExclusionSpec(protocol)
+        with pytest.raises(SimulationError):
+            measure_speculation(
+                protocol=protocol,
+                specification=spec,
+                strong_daemon_factory=AdversarialCentralDaemon,
+                weak_daemon_factory=SynchronousDaemon,
+                initial_configurations=[],
+                strong_horizon=10,
+                weak_horizon=10,
+            )
+
+    def test_speculation_factor_edge_cases(self, rng):
+        protocol = DijkstraTokenRing.on_ring(5)
+        spec = MutualExclusionSpec(protocol)
+        # A legitimate configuration stabilizes in 0 steps under both
+        # daemons: the factor degenerates to 1.
+        measurement = measure_speculation(
+            protocol=protocol,
+            specification=spec,
+            strong_daemon_factory=AdversarialCentralDaemon,
+            weak_daemon_factory=SynchronousDaemon,
+            initial_configurations=[protocol.legitimate_configuration(0)],
+            strong_horizon=100,
+            weak_horizon=50,
+        )
+        assert measurement.weak.max_steps == 0
+        assert measurement.speculation_factor in (1.0, float("inf"))
+
+
+class TestSpeculationStudy:
+    @pytest.fixture
+    def study(self):
+        def workload(protocol, workload_rng):
+            return random_configurations(protocol, 4, workload_rng)
+
+        return run_speculation_study(
+            protocol_factory=DijkstraTokenRing,
+            specification_factory=MutualExclusionSpec,
+            graphs=[ring_graph(n) for n in (5, 7, 9)],
+            strong_daemon_factory=AdversarialCentralDaemon,
+            weak_daemon_factory=SynchronousDaemon,
+            workload=workload,
+            strong_horizon=lambda p: 8 * p.graph.n * p.graph.n + 100,
+            weak_horizon=lambda p: 6 * p.graph.n + 40,
+            strong_bound=lambda p: float(2 * p.graph.n**2),
+            weak_bound=lambda p: float(3 * p.graph.n),
+            rng=random.Random(0),
+        )
+
+    def test_study_collects_one_measurement_per_graph(self, study):
+        assert len(study.measurements) == 3
+        assert study.protocol_name == "dijkstra-token-ring"
+
+    def test_study_orderings(self, study):
+        assert study.weak_never_slower
+        assert study.all_within_bounds
+
+    def test_study_definition4_verdict(self, study):
+        assert study.satisfies_definition4(min_final_factor=1.0)
+
+    def test_study_rows(self, study):
+        rows = study.as_rows()
+        assert len(rows) == 3
+        assert {"n", "strong_steps", "weak_steps", "speculation_factor"} <= set(rows[0])
+        assert [row["n"] for row in rows] == [5, 7, 9]
+
+    def test_factors_are_at_least_one(self, study):
+        for factor in study.speculation_factors():
+            assert factor is None or factor >= 1.0

@@ -1,0 +1,129 @@
+"""Unit tests for the SSME protocol (Algorithm 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.graphs import Graph, diameter, grid_graph, path_graph, ring_graph, star_graph
+from repro.mutex import SSME, ssme_clock_size, ssme_privileged_value
+
+
+class TestParameters:
+    def test_clock_size_formula(self):
+        # K = (2n - 1)(diam + 1) + 2
+        assert ssme_clock_size(5, 2) == 9 * 3 + 2
+        assert ssme_clock_size(1, 0) == 3
+
+    def test_clock_size_validation(self):
+        with pytest.raises(ProtocolError):
+            ssme_clock_size(0, 2)
+        with pytest.raises(ProtocolError):
+            ssme_clock_size(3, -1)
+
+    def test_privileged_value_formula(self):
+        assert ssme_privileged_value(5, 2, 0) == 10
+        assert ssme_privileged_value(5, 2, 3) == 10 + 12
+
+    def test_privileged_value_validation(self):
+        with pytest.raises(ProtocolError):
+            ssme_privileged_value(5, 2, 5)
+
+    def test_protocol_parameters_on_ring(self):
+        protocol = SSME(ring_graph(8))
+        assert protocol.alpha == 8
+        assert protocol.diam == 4
+        assert protocol.K == (2 * 8 - 1) * (4 + 1) + 2
+
+    def test_paper_boundary_values(self):
+        """The paper notes privileged(v0) = 2n and
+        privileged(v_{n-1}) = (2n-2)(diam+1)+2."""
+        protocol = SSME(path_graph(6))
+        n, diam = 6, 5
+        assert protocol.privileged_value(protocol.vertex_with_identity(0)) == 2 * n
+        assert (
+            protocol.privileged_value(protocol.vertex_with_identity(n - 1))
+            == (2 * n - 2) * (diam + 1) + 2
+        )
+
+    def test_every_privileged_value_is_a_correct_clock_value(self):
+        for graph in (ring_graph(7), path_graph(5), star_graph(6), grid_graph(3, 3)):
+            protocol = SSME(graph)
+            for vertex in graph.vertices:
+                value = protocol.privileged_value(vertex)
+                assert protocol.clock.is_correct(value)
+
+    def test_privileged_values_pairwise_distance_exceeds_diameter(self):
+        """The clock-size choice guarantees d_K between any two privileged
+        values is strictly larger than diam(g) — the core of Theorem 1."""
+        for graph in (ring_graph(8), path_graph(7), grid_graph(3, 3)):
+            protocol = SSME(graph)
+            values = [protocol.privileged_value(v) for v in graph.vertices]
+            for i, a in enumerate(values):
+                for b in values[i + 1 :]:
+                    assert protocol.clock.distance(a, b) > protocol.diam
+
+    def test_explicit_diameter_must_match(self):
+        with pytest.raises(ProtocolError):
+            SSME(ring_graph(8), diam=7)
+
+    def test_explicit_matching_diameter_accepted(self):
+        protocol = SSME(ring_graph(8), diam=4)
+        assert protocol.diam == 4
+
+    def test_single_vertex_graph(self):
+        protocol = SSME(Graph([0], []))
+        assert protocol.diam == 0
+        assert protocol.K == 3
+        assert protocol.privileged_value(0) == 2
+
+    def test_bounds(self):
+        protocol = SSME(ring_graph(10))
+        assert protocol.synchronous_stabilization_bound() == 3  # ceil(5/2)
+        n, diam = 10, 5
+        assert protocol.unfair_stabilization_bound() == 2 * diam * n**3 + (n + 1) * n**2 + (n - 2 * diam) * n
+
+
+class TestIdentities:
+    def test_integer_labels_are_their_own_identities(self):
+        protocol = SSME(ring_graph(5))
+        for v in range(5):
+            assert protocol.identity(v) == v
+            assert protocol.vertex_with_identity(v) == v
+
+    def test_non_integer_labels_get_sorted_identities(self):
+        graph = Graph(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        protocol = SSME(graph)
+        assert protocol.identity("a") == 0
+        assert protocol.identity("c") == 2
+
+    def test_unknown_vertex(self):
+        protocol = SSME(ring_graph(4))
+        with pytest.raises(ProtocolError):
+            protocol.identity(9)
+        with pytest.raises(ProtocolError):
+            protocol.privileged_value(9)
+        with pytest.raises(ProtocolError):
+            protocol.vertex_with_identity(77)
+
+
+class TestPrivilege:
+    def test_is_privileged_matches_value(self):
+        protocol = SSME(ring_graph(5))
+        gamma = protocol.legitimate_configuration(protocol.privileged_value(2))
+        # Every vertex holds vertex 2's privileged value; only vertex 2 is
+        # privileged because the values are distinct per identity.
+        assert protocol.is_privileged(gamma, 2)
+        assert protocol.privileged_vertices(gamma) == frozenset({2})
+
+    def test_no_privilege_in_default_configuration(self):
+        protocol = SSME(ring_graph(5))
+        assert protocol.privileged_vertices(protocol.default_configuration()) == frozenset()
+
+    def test_runs_on_any_topology(self):
+        """Unlike Dijkstra's protocol, SSME accepts arbitrary connected graphs."""
+        for graph in (star_graph(6), grid_graph(3, 4), path_graph(9)):
+            protocol = SSME(graph)
+            assert protocol.graph is graph

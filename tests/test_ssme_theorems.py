@@ -1,0 +1,136 @@
+"""Empirical checks of Theorems 1, 2 and 3 for SSME.
+
+These are the heart of the reproduction: every theorem of Section 4 is
+checked on executions of the actual protocol.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    AdversarialCentralDaemon,
+    CentralDaemon,
+    DistributedDaemon,
+    Simulator,
+    StarvationDaemon,
+    SynchronousDaemon,
+    measure_stabilization,
+    observed_stabilization_index,
+    synchronous_execution,
+)
+from repro.graphs import grid_graph, path_graph, ring_graph, star_graph
+from repro.lowerbound import adversarial_mutex_configurations
+from repro.mutex import SSME, MutualExclusionSpec
+from repro.unison import AsynchronousUnisonSpec
+
+
+GRAPHS = {
+    "ring8": ring_graph(8),
+    "path7": path_graph(7),
+    "star6": star_graph(6),
+    "grid3x3": grid_graph(3, 3),
+}
+
+
+@pytest.fixture(params=sorted(GRAPHS))
+def protocol(request) -> SSME:
+    return SSME(GRAPHS[request.param])
+
+
+class TestTheorem1SelfStabilization:
+    """SSME is self-stabilizing for spec_ME under unfair-style daemons."""
+
+    @pytest.mark.parametrize(
+        "daemon_factory",
+        [
+            SynchronousDaemon,
+            CentralDaemon,
+            lambda: DistributedDaemon(0.4),
+            AdversarialCentralDaemon,
+            StarvationDaemon,
+        ],
+        ids=["sd", "cd", "dd", "cd-adv", "ud-starve"],
+    )
+    def test_convergence_to_mutual_exclusion(self, protocol, daemon_factory, rng):
+        spec = MutualExclusionSpec(protocol)
+        horizon = 25 * protocol.graph.n * (protocol.alpha + protocol.diam) + 200
+        for _ in range(3):
+            gamma = protocol.random_configuration(rng)
+            simulator = Simulator(protocol, daemon_factory(), rng=random.Random(rng.randrange(2**32)))
+            execution = simulator.run(
+                gamma,
+                max_steps=horizon,
+                stop_when=lambda config, index: protocol.is_legitimate(config),
+            )
+            # The unison converges to Γ₁ ...
+            assert protocol.is_legitimate(execution.final)
+            # ... and from the last unsafe configuration onward safety holds.
+            assert observed_stabilization_index(execution, spec, protocol) is not None
+
+    def test_safety_holds_forever_after_gamma1(self, protocol, rng):
+        """Once in Γ₁, no two vertices are ever privileged simultaneously,
+        under an arbitrary (randomly scheduled) daemon."""
+        spec = MutualExclusionSpec(protocol)
+        gamma = protocol.legitimate_configuration(0)
+        for _ in range(200):
+            assert spec.is_safe(gamma, protocol)
+            enabled = protocol.enabled_vertices(gamma)
+            selection = [v for v in enabled if rng.random() < 0.5] or [next(iter(enabled))]
+            gamma, _ = protocol.apply(gamma, selection)
+
+    def test_liveness_every_vertex_enters_critical_section(self, protocol):
+        spec = MutualExclusionSpec(protocol)
+        execution = synchronous_execution(
+            protocol, protocol.legitimate_configuration(0), protocol.K + protocol.diam + 2
+        )
+        assert spec.check_liveness(execution, protocol, 0)
+
+
+class TestTheorem2SynchronousUpperBound:
+    def test_random_configurations_respect_bound(self, protocol, rng):
+        spec = MutualExclusionSpec(protocol)
+        bound = protocol.synchronous_stabilization_bound()
+        for _ in range(10):
+            gamma = protocol.random_configuration(rng)
+            measurement = measure_stabilization(
+                protocol, SynchronousDaemon(), gamma, spec, horizon=protocol.K + 4 * protocol.alpha
+            )
+            assert measurement.stabilized
+            assert measurement.stabilization_steps <= bound
+
+    def test_adversarial_configurations_respect_and_reach_bound(self, protocol, rng):
+        spec = MutualExclusionSpec(protocol)
+        bound = protocol.synchronous_stabilization_bound()
+        worst = 0
+        for gamma in adversarial_mutex_configurations(protocol, rng, random_count=4):
+            measurement = measure_stabilization(
+                protocol, SynchronousDaemon(), gamma, spec, horizon=protocol.K + 4 * protocol.alpha
+            )
+            assert measurement.stabilized
+            assert measurement.stabilization_steps <= bound
+            worst = max(worst, measurement.stabilization_steps)
+        assert worst == bound  # tightness on every test graph (diam >= 1)
+
+
+class TestTheorem3UnfairUpperBound:
+    def test_unfair_style_schedulers_respect_cubic_bound(self, protocol, rng):
+        mutex_spec = MutualExclusionSpec(protocol)
+        unison_spec = AsynchronousUnisonSpec(protocol)
+        bound = protocol.unfair_stabilization_bound()
+        horizon = min(bound, 30 * protocol.graph.n * (protocol.alpha + protocol.diam) + 200)
+        for daemon_factory in (CentralDaemon, StarvationDaemon):
+            gamma = protocol.random_configuration(rng)
+            simulator = Simulator(protocol, daemon_factory(), rng=random.Random(7))
+            execution = simulator.run(
+                gamma,
+                max_steps=horizon,
+                stop_when=lambda config, index: protocol.is_legitimate(config),
+            )
+            assert protocol.is_legitimate(execution.final)
+            unison_steps = observed_stabilization_index(execution, unison_spec, protocol)
+            mutex_steps = observed_stabilization_index(execution, mutex_spec, protocol)
+            assert unison_steps is not None and unison_steps <= bound
+            assert mutex_steps is not None and mutex_steps <= unison_steps

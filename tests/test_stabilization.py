@@ -1,0 +1,186 @@
+"""Unit tests for specifications and stabilization measurement."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    CentralDaemon,
+    SynchronousDaemon,
+    measure_stabilization,
+    observed_stabilization_index,
+    worst_case_stabilization,
+    synchronous_execution,
+)
+from repro.exceptions import SimulationError, SpecificationError
+from repro.graphs import path_graph, ring_graph
+from repro.mutex import SSME, MutualExclusionSpec
+from repro.unison import AsynchronousUnison, AsynchronousUnisonSpec
+
+
+@pytest.fixture
+def protocol():
+    return SSME(ring_graph(6))
+
+
+@pytest.fixture
+def spec(protocol):
+    return MutualExclusionSpec(protocol)
+
+
+class TestSpecificationHelpers:
+    def test_first_and_last_unsafe_index(self, protocol, spec):
+        # Configuration with two privileged vertices, fixed by one sync step.
+        from repro.lowerbound import immediate_double_privilege_configuration
+
+        gamma = immediate_double_privilege_configuration(protocol)
+        execution = synchronous_execution(protocol, gamma, 10)
+        first = spec.first_unsafe_index(execution, protocol)
+        last = spec.last_unsafe_index(execution, protocol)
+        assert first == 0
+        assert last is not None and last >= first
+
+    def test_safe_execution_has_no_unsafe_index(self, protocol, spec):
+        gamma = protocol.legitimate_configuration(0)
+        execution = synchronous_execution(protocol, gamma, 10)
+        assert spec.first_unsafe_index(execution, protocol) is None
+        assert spec.last_unsafe_index(execution, protocol) is None
+
+    def test_satisfied_by_checks_start_bounds(self, protocol, spec):
+        execution = synchronous_execution(protocol, protocol.legitimate_configuration(0), 5)
+        with pytest.raises(SpecificationError):
+            spec.satisfied_by(execution, protocol, start=99)
+
+    def test_satisfied_by_safe_suffix(self, protocol, spec):
+        execution = synchronous_execution(protocol, protocol.legitimate_configuration(0), 5)
+        # Safety holds everywhere; liveness needs a window of a full clock
+        # period, so only the safety part is verified here.
+        assert spec.first_unsafe_index(execution, protocol) is None
+
+
+class TestObservedStabilizationIndex:
+    def test_zero_when_always_safe(self, protocol, spec):
+        execution = synchronous_execution(protocol, protocol.legitimate_configuration(0), 8)
+        assert observed_stabilization_index(execution, spec, protocol) == 0
+
+    def test_none_when_final_configuration_unsafe(self, protocol, spec):
+        from repro.lowerbound import immediate_double_privilege_configuration
+
+        gamma = immediate_double_privilege_configuration(protocol)
+        execution = synchronous_execution(protocol, gamma, 0)
+        assert observed_stabilization_index(execution, spec, protocol) is None
+
+    def test_positive_when_violation_is_transient(self, protocol, spec):
+        from repro.lowerbound import immediate_double_privilege_configuration
+
+        gamma = immediate_double_privilege_configuration(protocol)
+        execution = synchronous_execution(protocol, gamma, 20)
+        index = observed_stabilization_index(execution, spec, protocol)
+        assert index is not None and index >= 1
+
+
+class TestMeasureStabilization:
+    def test_measure_on_legitimate_configuration(self, protocol, spec):
+        measurement = measure_stabilization(
+            protocol,
+            SynchronousDaemon(),
+            protocol.legitimate_configuration(0),
+            spec,
+            horizon=protocol.K + 10,
+            check_liveness=True,
+        )
+        assert measurement.stabilized
+        assert measurement.stabilization_steps == 0
+        assert measurement.liveness_checked
+        assert measurement.liveness_ok
+
+    def test_measure_without_liveness(self, protocol, spec):
+        measurement = measure_stabilization(
+            protocol,
+            SynchronousDaemon(),
+            protocol.legitimate_configuration(0),
+            spec,
+            horizon=5,
+        )
+        assert not measurement.liveness_checked
+        assert measurement.liveness_ok is None
+
+    def test_measure_respects_theorem2_bound(self, protocol, spec, rng):
+        bound = protocol.synchronous_stabilization_bound()
+        for _ in range(10):
+            gamma = protocol.random_configuration(rng)
+            measurement = measure_stabilization(
+                protocol, SynchronousDaemon(), gamma, spec, horizon=protocol.K + 40
+            )
+            assert measurement.stabilized
+            assert measurement.stabilization_steps <= bound
+
+    def test_rounds_are_recorded(self, protocol, spec):
+        measurement = measure_stabilization(
+            protocol,
+            SynchronousDaemon(),
+            protocol.legitimate_configuration(0),
+            spec,
+            horizon=6,
+        )
+        assert measurement.rounds == 6
+
+
+class TestWorstCase:
+    def test_worst_case_over_configurations(self, protocol, spec, rng):
+        configurations = [protocol.random_configuration(rng) for _ in range(4)]
+        result = worst_case_stabilization(
+            protocol,
+            SynchronousDaemon,
+            spec,
+            configurations,
+            horizon=protocol.K + 40,
+        )
+        assert result.all_stabilized
+        assert result.max_steps is not None
+        assert result.max_steps <= protocol.synchronous_stabilization_bound()
+        assert result.mean_steps is not None
+        assert len(result.measurements) == 4
+
+    def test_worst_case_multiple_runs_randomized_daemon(self, rng):
+        unison = AsynchronousUnison(path_graph(4))
+        spec = AsynchronousUnisonSpec(unison)
+        configurations = [unison.random_configuration(rng) for _ in range(2)]
+        result = worst_case_stabilization(
+            unison,
+            CentralDaemon,
+            spec,
+            configurations,
+            horizon=400,
+            runs_per_configuration=2,
+        )
+        assert len(result.measurements) == 4
+        assert result.all_stabilized
+
+    def test_worst_case_rejects_bad_runs_parameter(self, protocol, spec):
+        with pytest.raises(SimulationError):
+            worst_case_stabilization(
+                protocol,
+                SynchronousDaemon,
+                spec,
+                [protocol.legitimate_configuration(0)],
+                horizon=5,
+                runs_per_configuration=0,
+            )
+
+    def test_unstabilized_run_is_reported(self, protocol, spec):
+        from repro.lowerbound import immediate_double_privilege_configuration
+
+        # Horizon 0: the double-privilege configuration never gets a chance
+        # to be fixed, so the measurement reports a failure to stabilize.
+        result = worst_case_stabilization(
+            protocol,
+            SynchronousDaemon,
+            spec,
+            [immediate_double_privilege_configuration(protocol)],
+            horizon=0,
+        )
+        assert not result.all_stabilized
+        assert result.max_steps is None

@@ -1,0 +1,115 @@
+"""Unit tests for spec_AU and the island decomposition (Definitions 5-6)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import synchronous_execution
+from repro.exceptions import SpecificationError
+from repro.graphs import path_graph, ring_graph
+from repro.mutex import SSME
+from repro.unison import (
+    AsynchronousUnison,
+    AsynchronousUnisonSpec,
+    decompose_islands,
+    island_of,
+)
+
+
+class TestSpecAU:
+    def test_requires_unison_protocol(self):
+        from repro.mutex import DijkstraTokenRing
+
+        with pytest.raises(SpecificationError):
+            AsynchronousUnisonSpec(DijkstraTokenRing.on_ring(4))
+
+    def test_safety_is_gamma1_membership(self):
+        protocol = AsynchronousUnison(ring_graph(4))
+        spec = AsynchronousUnisonSpec(protocol)
+        assert spec.is_safe(protocol.legitimate_configuration(1), protocol)
+        assert not spec.is_safe(protocol.configuration({0: 0, 1: 3, 2: 0, 3: 0}), protocol)
+
+    def test_liveness_requires_every_vertex_to_increment(self):
+        protocol = AsynchronousUnison(ring_graph(4))
+        spec = AsynchronousUnisonSpec(protocol)
+        execution = synchronous_execution(protocol, protocol.legitimate_configuration(0), 5)
+        assert spec.check_liveness(execution, protocol, 0)
+        # An empty window has no increments at all.
+        empty = synchronous_execution(protocol, protocol.legitimate_configuration(0), 0)
+        assert not spec.check_liveness(empty, protocol, 0)
+
+    def test_drift_bound_violations(self):
+        protocol = AsynchronousUnison(ring_graph(4))
+        spec = AsynchronousUnisonSpec(protocol)
+        assert spec.drift_bound_violations(protocol.legitimate_configuration(0)) == 0
+        bad = protocol.configuration({0: 0, 1: 3, 2: 3, 3: 0})
+        assert spec.drift_bound_violations(bad) == 2
+
+
+class TestIslands:
+    def test_legitimate_configuration_has_no_island(self):
+        protocol = AsynchronousUnison(ring_graph(5))
+        islands = decompose_islands(protocol, protocol.legitimate_configuration(0))
+        assert islands == []
+
+    def test_island_detection_on_path(self):
+        # Path 0-1-2-3-4 with a consistent left half and an inconsistent
+        # right half: the left half forms an island.
+        protocol = AsynchronousUnison(path_graph(5), alpha=5, K=20, validate_parameters=False)
+        gamma = protocol.configuration({0: 5, 1: 5, 2: 6, 3: 12, 4: -2})
+        islands = decompose_islands(protocol, gamma)
+        by_vertices = {island.vertices: island for island in islands}
+        assert frozenset({0, 1, 2}) in by_vertices
+        left = by_vertices[frozenset({0, 1, 2})]
+        assert not left.is_zero_island
+        assert left.border == frozenset({2})
+        assert left.depth == 2
+        # Vertex 3 holds a correct value but is consistent with neither
+        # neighbour: it is an island on its own.
+        assert frozenset({3}) in by_vertices
+        assert 3 in by_vertices[frozenset({3})]
+
+    def test_zero_island_flag(self):
+        protocol = AsynchronousUnison(path_graph(3), alpha=3, K=10, validate_parameters=False)
+        gamma = protocol.configuration({0: 0, 1: 1, 2: 7})
+        islands = decompose_islands(protocol, gamma)
+        zero_islands = [island for island in islands if island.is_zero_island]
+        assert len(zero_islands) == 1
+        assert zero_islands[0].vertices == frozenset({0, 1})
+
+    def test_island_of(self):
+        protocol = AsynchronousUnison(path_graph(3), alpha=3, K=10, validate_parameters=False)
+        gamma = protocol.configuration({0: 0, 1: 1, 2: 7})
+        assert island_of(protocol, gamma, 0) is not None
+        assert island_of(protocol, gamma, 0).is_zero_island
+        # Initial values belong to no island.
+        gamma2 = protocol.configuration({0: -1, 1: 1, 2: 7})
+        assert island_of(protocol, gamma2, 0) is None
+
+    def test_island_repr_and_len(self):
+        protocol = AsynchronousUnison(path_graph(3), alpha=3, K=10, validate_parameters=False)
+        gamma = protocol.configuration({0: 0, 1: 1, 2: 7})
+        island = island_of(protocol, gamma, 0)
+        assert len(island) == 2
+        assert "zero" in repr(island)
+
+
+class TestIslandLemmas:
+    def test_lemma2_privileged_vertex_never_in_zero_island(self, rng):
+        """Executable Lemma 2: in the first diam(g) synchronous steps, a
+        vertex that is privileged at step i never belonged to a zero-island
+        earlier in the prefix."""
+        protocol = SSME(ring_graph(8))
+        diam = protocol.diam
+        for _ in range(20):
+            gamma = protocol.random_configuration(rng)
+            execution = synchronous_execution(protocol, gamma, diam)
+            for i in range(diam):
+                config_i = execution.configuration(i)
+                for vertex in protocol.graph.vertices:
+                    if protocol.is_privileged(config_i, vertex):
+                        for j in range(i + 1):
+                            island = island_of(protocol, execution.configuration(j), vertex)
+                            assert island is None or not island.is_zero_island
