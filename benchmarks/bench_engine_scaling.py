@@ -1,0 +1,217 @@
+"""Engine-scaling benchmark: steps/sec, old (reference) vs. new (incremental).
+
+Measures the simulation step throughput of the reference full-rescan engine
+against the incremental dirty-set engine (in both trace modes) across ring
+sizes and daemons, and writes a JSON summary so the performance trajectory
+is tracked across PRs.
+
+Not collected by pytest (``bench_*`` prefix); run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py --quick
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py --json BENCH_engine.json
+
+The headline number (acceptance criterion of the incremental-engine PR) is
+the central-daemon speedup on ``ring_graph(200)``: the incremental engine
+must deliver >= 10x the reference engine's steps/sec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import (
+    CentralDaemon,
+    DistributedDaemon,
+    Simulator,
+    SynchronousDaemon,
+)
+from repro.graphs import ring_graph
+from repro.unison import AsynchronousUnison
+
+DEFAULT_SIZES = (50, 200, 800)
+QUICK_SIZES = (50, 200)
+
+DAEMON_FACTORIES = {
+    "cd": CentralDaemon,
+    "sd": SynchronousDaemon,
+    "dd": lambda: DistributedDaemon(0.5),
+}
+
+ENGINE_MODES = (
+    ("reference", "full"),
+    ("incremental", "full"),
+    ("incremental", "light"),
+)
+
+
+def _steps_for(n: int, engine: str) -> int:
+    """A step budget that keeps every combination in sub-second territory
+    for the slow engine while giving the fast one enough work to time."""
+    budget = max(200, 120_000 // n)
+    if engine == "incremental":
+        budget *= 4
+    return budget
+
+
+def _measure(
+    protocol: AsynchronousUnison,
+    daemon_name: str,
+    engine: str,
+    trace: str,
+    steps: int,
+    seed: int,
+    repeats: int,
+) -> Dict[str, object]:
+    initial = protocol.random_configuration(random.Random(seed))
+    best = 0.0
+    for _ in range(repeats):
+        simulator = Simulator(
+            protocol,
+            DAEMON_FACTORIES[daemon_name](),
+            rng=random.Random(seed + 1),
+            engine=engine,
+            trace=trace,
+        )
+        start = time.perf_counter()
+        execution = simulator.run(initial, max_steps=steps)
+        elapsed = time.perf_counter() - start
+        if execution.steps == 0:
+            raise RuntimeError("benchmark run performed no steps")
+        best = max(best, execution.steps / elapsed)
+    return {
+        "n": protocol.graph.n,
+        "daemon": daemon_name,
+        "engine": engine,
+        "trace": trace,
+        "steps": steps,
+        "steps_per_sec": round(best, 1),
+    }
+
+
+def run_benchmark(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    daemons: Sequence[str] = tuple(DAEMON_FACTORIES),
+    seed: int = 0,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Run the full sweep and return the JSON-ready summary."""
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        protocol = AsynchronousUnison(ring_graph(n))
+        for daemon_name in daemons:
+            for engine, trace in ENGINE_MODES:
+                row = _measure(
+                    protocol,
+                    daemon_name,
+                    engine,
+                    trace,
+                    steps=_steps_for(n, engine),
+                    seed=seed,
+                    repeats=repeats,
+                )
+                rows.append(row)
+                print(
+                    f"ring({row['n']:>4})  {row['daemon']:<3} "
+                    f"{row['engine']:<11} trace={row['trace']:<5} "
+                    f"{row['steps_per_sec']:>12,.1f} steps/s"
+                )
+
+    def throughput(n: int, daemon: str, engine: str, trace: str) -> Optional[float]:
+        for row in rows:
+            if (row["n"], row["daemon"], row["engine"], row["trace"]) == (
+                n,
+                daemon,
+                engine,
+                trace,
+            ):
+                return float(row["steps_per_sec"])
+        return None
+
+    speedups: List[Dict[str, object]] = []
+    for n in sizes:
+        for daemon_name in daemons:
+            base = throughput(n, daemon_name, "reference", "full")
+            if not base:
+                continue
+            for engine, trace in ENGINE_MODES[1:]:
+                new = throughput(n, daemon_name, engine, trace)
+                if new:
+                    speedups.append(
+                        {
+                            "n": n,
+                            "daemon": daemon_name,
+                            "engine": engine,
+                            "trace": trace,
+                            "speedup_vs_reference": round(new / base, 2),
+                        }
+                    )
+
+    headline = {}
+    if 200 in sizes and "cd" in daemons:
+        base = throughput(200, "cd", "reference", "full")
+        full = throughput(200, "cd", "incremental", "full")
+        light = throughput(200, "cd", "incremental", "light")
+        if base and full and light:
+            headline = {
+                "daemon": "cd",
+                "n": 200,
+                "incremental_full_speedup": round(full / base, 2),
+                "incremental_light_speedup": round(light / base, 2),
+                "target": 10.0,
+                "meets_target": max(full, light) / base >= 10.0,
+            }
+
+    return {
+        "benchmark": "engine_scaling",
+        "topology": "ring",
+        "protocol": "AsynchronousUnison",
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "rows": rows,
+        "speedups": speedups,
+        "headline": headline,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default="BENCH_engine.json",
+        help="where to write the JSON summary (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the n=800 sweep (useful on slow machines / CI)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else DEFAULT_SIZES
+    summary = run_benchmark(sizes=sizes, seed=args.seed)
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.json}")
+    if summary["headline"]:
+        head = summary["headline"]
+        print(
+            f"headline: cd/ring(200) speedup full={head['incremental_full_speedup']}x "
+            f"light={head['incremental_light_speedup']}x "
+            f"(target >= {head['target']}x: {'PASS' if head['meets_target'] else 'FAIL'})"
+        )
+        return 0 if head["meets_target"] else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 """Core execution model: configurations, rules, protocols, daemons,
 simulator, specifications, and stabilization/speculation analysis."""
 
-from .state import Configuration
+from .state import Configuration, ConfigurationBuffer, ConfigurationView
 from .rules import LocalView, Rule, make_rule
+from .engine import IncrementalEngine, protocol_supports_incremental
 from .protocol import ActivationRecord, PrivilegeAware, Protocol
 from .daemons import (
     DAEMON_FACTORIES,
@@ -17,7 +18,7 @@ from .daemons import (
     is_weaker_than,
     make_daemon,
 )
-from .execution import Execution
+from .execution import Execution, LazyConfigurationTrace
 from .simulator import Simulator, StepResult, synchronous_execution
 from .specification import SilentSpecification, Specification
 from .stabilization import (
@@ -40,11 +41,15 @@ __all__ = [
     "AdversarialCentralDaemon",
     "CentralDaemon",
     "Configuration",
+    "ConfigurationBuffer",
+    "ConfigurationView",
     "DAEMON_FACTORIES",
     "Daemon",
     "DaemonStabilizationProfile",
     "DistributedDaemon",
     "Execution",
+    "IncrementalEngine",
+    "LazyConfigurationTrace",
     "LocalView",
     "LocallyCentralDaemon",
     "PrivilegeAware",
@@ -67,6 +72,7 @@ __all__ = [
     "measure_speculation",
     "measure_stabilization",
     "observed_stabilization_index",
+    "protocol_supports_incremental",
     "run_speculation_study",
     "synchronous_execution",
     "worst_case_stabilization",

@@ -64,10 +64,28 @@ class Daemon(ABC):
 
     def __init__(self) -> None:
         self._protocol: Optional[Protocol] = None
+        self._sorted_vertices: Optional[List[VertexId]] = None
 
     def bind(self, protocol: Protocol) -> None:
         """Attach the protocol whose executions this daemon schedules."""
         self._protocol = protocol
+        # Cache the deterministic vertex order once: the simulator hands the
+        # daemon a (cached) enabled set every step, and re-sorting it by repr
+        # per step is a hidden O(n log n) on the simulation hot path.
+        self._sorted_vertices = list(protocol.graph.sorted_vertices())
+
+    def _ordered_enabled(self, enabled: FrozenSet[VertexId]) -> List[VertexId]:
+        """The enabled vertices in deterministic (repr-sorted) order.
+
+        Uses the vertex order cached at :meth:`bind` time when available —
+        one membership filter instead of a repr sort per step.  For enabled
+        sets much smaller than the graph (the tail of every stabilization
+        run) sorting the few elements directly is cheaper than scanning the
+        full vertex order; both branches produce the identical list.
+        """
+        if self._sorted_vertices is None or len(enabled) * 8 < len(self._sorted_vertices):
+            return sorted(enabled, key=repr)
+        return [v for v in self._sorted_vertices if v in enabled]
 
     @property
     def protocol(self) -> Optional[Protocol]:
@@ -85,7 +103,14 @@ class Daemon(ABC):
         step_index: int,
         rng: random.Random,
     ) -> FrozenSet[VertexId]:
-        """Choose the non-empty subset of ``enabled`` to activate."""
+        """Choose the non-empty subset of ``enabled`` to activate.
+
+        ``enabled`` is the simulator's cached enabled set for the current
+        configuration — daemons must not recompute it.  ``configuration``
+        is an immutable snapshot under the default trace mode, but a *live*
+        read-only view in light-trace mode: read it freely during the call,
+        never retain it across steps.
+        """
 
     def checked_select(
         self,
@@ -186,7 +211,7 @@ class CentralDaemon(Daemon):
         step_index: int,
         rng: random.Random,
     ) -> FrozenSet[VertexId]:
-        ordered = sorted(enabled, key=repr)
+        ordered = self._ordered_enabled(enabled)
         if self._strategy == "first":
             choice = ordered[0]
         elif self._strategy == "last":
@@ -223,10 +248,10 @@ class RoundRobinCentralDaemon(Daemon):
         step_index: int,
         rng: random.Random,
     ) -> FrozenSet[VertexId]:
-        if self._protocol is None:
+        if self._sorted_vertices is None:
             ordered_all = sorted(enabled, key=repr)
         else:
-            ordered_all = list(self._protocol.graph.sorted_vertices())
+            ordered_all = self._sorted_vertices
         total = len(ordered_all)
         for offset in range(total):
             candidate = ordered_all[(self._cursor + offset) % total]
@@ -268,9 +293,10 @@ class DistributedDaemon(Daemon):
         step_index: int,
         rng: random.Random,
     ) -> FrozenSet[VertexId]:
-        chosen = {v for v in sorted(enabled, key=repr) if rng.random() < self._p}
+        ordered = self._ordered_enabled(enabled)
+        chosen = {v for v in ordered if rng.random() < self._p}
         if not chosen:
-            chosen = {rng.choice(sorted(enabled, key=repr))}
+            chosen = {rng.choice(ordered)}
         return frozenset(chosen)
 
 
@@ -293,7 +319,7 @@ class LocallyCentralDaemon(Daemon):
         if self._protocol is None:
             raise DaemonError("locally central daemon requires a bound protocol")
         graph = self._protocol.graph
-        ordered = sorted(enabled, key=repr)
+        ordered = self._ordered_enabled(enabled)
         rng.shuffle(ordered)
         chosen: Set[VertexId] = set()
         for v in ordered:
@@ -349,18 +375,31 @@ class AdversarialCentralDaemon(Daemon):
             raise DaemonError("adversarial daemon requires a bound protocol")
         protocol = self._protocol
         graph = protocol.graph
+        # Reuse one rules lookup across the lookahead only when the protocol
+        # keeps the stock enabledness chain; custom chains must be honoured.
+        stock_enabledness = protocol.has_stock_enabledness()
+        rules = protocol.rules() if stock_enabledness else None
         best_vertex = None
         best_key: Optional[Tuple[int, int, str]] = None
-        for vertex in sorted(enabled, key=repr):
+        for vertex in self._ordered_enabled(enabled):
             next_config, _ = protocol.apply(configuration, [vertex])
             # Activating a single vertex can only change the enabledness of
             # that vertex and its neighbours, so the successor's enabled
             # count is computed from the current one by a local delta.
             closed_neighborhood = set(graph.neighbors(vertex)) | {vertex}
             enabled_after = len(enabled - closed_neighborhood)
-            enabled_after += sum(
-                1 for w in closed_neighborhood if protocol.is_enabled(next_config, w)
-            )
+            if stock_enabledness:
+                enabled_after += sum(
+                    1
+                    for w in closed_neighborhood
+                    if protocol.evaluate(next_config, w, rules)[1]
+                )
+            else:
+                enabled_after += sum(
+                    1
+                    for w in closed_neighborhood
+                    if protocol.is_enabled(next_config, w)
+                )
             recency = self._last_activated.get(vertex, -1)
             # Maximize enabled_after, then prefer least recently activated.
             key = (-enabled_after, recency, repr(vertex))

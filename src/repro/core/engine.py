@@ -1,0 +1,226 @@
+"""The incremental simulation engine.
+
+The reference semantics of the model (see :class:`~repro.core.Simulator`)
+recompute the enabled set of *every* vertex at *every* step, building a
+fresh :class:`LocalView` per vertex and evaluating every guard twice (once
+for enabledness, once inside ``Protocol.apply``).  That is O(n·rules·deg)
+work per action even when the daemon activates a single vertex.
+
+This engine exploits the locality of the state model instead: a guard of
+vertex ``v`` only reads the states of ``v`` and its neighbours, so after an
+action that changed the states of a set ``C`` of vertices, only the vertices
+of ``C ∪ neig(C)`` can change enabledness.  The engine therefore maintains
+
+* a mutable :class:`~repro.core.ConfigurationBuffer` updated in place
+  (O(Δ) per action),
+* a persistent per-vertex cache of ``(LocalView, enabled rules)`` pairs,
+  refreshed only for the *dirty* vertices ``C ∪ neig(C)`` after each action,
+
+and shares each cached view between the enabledness check and the rule
+firing, so every guard is evaluated exactly once per vertex per dirty
+event.  Immutable :class:`~repro.core.Configuration` snapshots are
+materialized only where the :class:`~repro.core.Execution` trace records
+them; in light-trace mode (``trace="light"``) no snapshot is materialized
+at all and configurations are reconstructed on demand from the activation
+records.
+
+The produced executions are equivalent to the reference engine's (same
+configurations, selections, enabled sets and activation records — record
+*order* within one action may differ, as it follows set iteration order).
+``tests/test_engine_equivalence.py`` asserts this property across
+protocols, daemons, graphs and seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import SimulationError
+from ..types import VertexId, VertexStateLike
+from .daemons import Daemon
+from .execution import Execution
+from .protocol import ActivationRecord, Protocol
+from .rules import LocalView, Rule
+from .state import Configuration, ConfigurationBuffer
+
+__all__ = ["IncrementalEngine", "protocol_supports_incremental"]
+
+
+def protocol_supports_incremental(protocol: Protocol) -> bool:
+    """Whether ``protocol`` keeps the base-class transition semantics.
+
+    ``choose_rule``, ``validate_state`` and ``rules`` may be overridden
+    freely — the engine calls them; only the hot-path methods it *replaces*
+    must be the stock implementations (see
+    :meth:`Protocol.has_stock_transitions`).
+    """
+    return protocol.has_stock_transitions()
+
+
+class IncrementalEngine:
+    """Dirty-set incremental runner for one protocol instance.
+
+    The engine is stateless between runs (all per-run state lives in local
+    variables), so one instance can be cached per simulator and reused.
+    """
+
+    __slots__ = ("_protocol", "_graph", "_vertices", "_neighbors")
+
+    def __init__(self, protocol: Protocol) -> None:
+        self._protocol = protocol
+        self._graph = protocol.graph
+        # The graph is immutable, so the neighbourhood map can be cached for
+        # the engine's lifetime; rules() is re-queried per run because the
+        # protocol contract allows it to be overridden (e.g. parameterized).
+        self._vertices: Tuple[VertexId, ...] = tuple(self._graph.vertices)
+        self._neighbors: Dict[VertexId, Tuple[VertexId, ...]] = {
+            v: tuple(self._graph.neighbors(v)) for v in self._vertices
+        }
+
+    def run(
+        self,
+        daemon: Daemon,
+        rng: random.Random,
+        initial: Configuration,
+        max_steps: int,
+        stop_when: Optional[Callable[[Configuration, int], bool]] = None,
+        trace: str = "full",
+    ) -> Execution:
+        """Run up to ``max_steps`` actions from ``initial``.
+
+        Mirrors the reference engine's ``Simulator.run`` contract exactly;
+        with ``trace="light"`` the returned execution reconstructs
+        intermediate configurations on demand, and daemons/predicates are
+        handed a live read-only view instead of per-step snapshots.
+
+        Cached views persist across steps, so the guard/action/choose_rule
+        hooks they are handed must treat them as read-only — which the rule
+        contract already requires (guards and actions are pure functions of
+        the view); a hook mutating ``view.neighbor_states`` would corrupt
+        the cache for un-dirtied vertices.
+        """
+        if trace not in {"full", "light"}:
+            raise SimulationError(f"unknown trace mode {trace!r}")
+        if set(initial) != set(self._vertices):
+            raise SimulationError(
+                "initial configuration is not over the protocol's vertex set"
+            )
+        protocol = self._protocol
+        graph = self._graph
+        rules = tuple(protocol.rules())
+        neighbors = self._neighbors
+
+        buffer = ConfigurationBuffer(initial)
+        states = buffer.raw_states()
+
+        # Persistent enabled cache: vertex -> (view, enabled rules), present
+        # only for enabled vertices.  Seeded by one full evaluation.  Bound
+        # is_enabled methods are hoisted (not raw guard callables) so Rule
+        # subclasses overriding is_enabled keep their semantics.
+        guards = [(rule, rule.is_enabled) for rule in rules]
+        prepared: Dict[VertexId, Tuple[LocalView, List[Rule]]] = {}
+        for vertex in self._vertices:
+            view = LocalView._from_trusted_parts(
+                vertex, states[vertex], {u: states[u] for u in neighbors[vertex]}, graph
+            )
+            enabled_rules = [rule for rule, is_enabled in guards if is_enabled(view)]
+            if enabled_rules:
+                prepared[vertex] = (view, enabled_rules)
+
+        light = trace == "light"
+        live_view = buffer.view() if light else None
+        configurations: List[Configuration] = [initial]
+        selections: List[FrozenSet[VertexId]] = []
+        activations: List[Sequence[ActivationRecord]] = []
+        enabled_sets: List[FrozenSet[VertexId]] = []
+        truncated = True
+
+        current: Configuration = initial
+        enabled: Optional[FrozenSet[VertexId]] = None  # reused until membership changes
+        for index in range(max_steps + 1):
+            if enabled is None:
+                enabled = frozenset(prepared)
+            enabled_sets.append(enabled)
+            observed = live_view if light else current
+            if stop_when is not None and stop_when(observed, index):
+                truncated = True
+                break
+            if not enabled:
+                truncated = False
+                break
+            if index == max_steps:
+                truncated = True
+                break
+            selection = daemon.checked_select(enabled, observed, index, rng)
+
+            # Fire the cached enabled rules of the selected vertices.
+            records: List[ActivationRecord] = []
+            changes: Dict[VertexId, VertexStateLike] = {}
+            for vertex in selection:
+                entry = prepared.get(vertex)
+                if entry is None:  # pragma: no cover - checked_select forbids it
+                    continue
+                view, enabled_rules = entry
+                # choose_rule is an overridable hook: hand it a copy so an
+                # override mutating the sequence cannot corrupt the cache.
+                rule = protocol.choose_rule(list(enabled_rules), view)
+                new_state = rule.apply(view)
+                protocol.validate_state(vertex, new_state)
+                old_state = states[vertex]
+                records.append(
+                    ActivationRecord(
+                        vertex=vertex,
+                        rule_name=rule.name,
+                        old_state=old_state,
+                        new_state=new_state,
+                    )
+                )
+                if new_state != old_state:
+                    changes[vertex] = new_state
+
+            # O(Δ) in-place update + dirty-set cache refresh: only the
+            # changed vertices and their neighbours can change enabledness.
+            if changes:
+                buffer.apply_changes(changes)
+                dirty: Set[VertexId] = set(changes)
+                for vertex in changes:
+                    dirty.update(neighbors[vertex])
+                for vertex in dirty:
+                    view = LocalView._from_trusted_parts(
+                        vertex,
+                        states[vertex],
+                        {u: states[u] for u in neighbors[vertex]},
+                        graph,
+                    )
+                    enabled_rules = [
+                        rule for rule, is_enabled in guards if is_enabled(view)
+                    ]
+                    if enabled_rules:
+                        if vertex not in prepared:
+                            enabled = None
+                        prepared[vertex] = (view, enabled_rules)
+                    elif prepared.pop(vertex, None) is not None:
+                        enabled = None
+
+            selections.append(selection)
+            activations.append(records)
+            if not light:
+                current = buffer.snapshot() if changes else current
+                configurations.append(current)
+
+        if light:
+            return Execution.from_activations(
+                initial=initial,
+                selections=selections,
+                activations=activations,
+                enabled_sets=enabled_sets,
+                truncated=truncated,
+            )
+        return Execution(
+            configurations=configurations,
+            selections=selections,
+            activations=activations,
+            enabled_sets=enabled_sets,
+            truncated=truncated,
+        )

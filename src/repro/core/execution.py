@@ -10,14 +10,110 @@ restrictions used by the lower-bound argument (Definition 8).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import SimulationError
 from ..types import VertexId, VertexStateLike
 from .protocol import ActivationRecord
 from .state import Configuration
 
-__all__ = ["Execution"]
+__all__ = ["Execution", "LazyConfigurationTrace"]
+
+
+class LazyConfigurationTrace(Sequence[Configuration]):
+    """``γ0 .. γ_steps`` stored as ``γ0`` plus per-action state deltas.
+
+    Light-trace executions record only the activations; configurations are
+    reconstructed on access by replaying the deltas from the nearest cached
+    predecessor.  Directly requested indices are cached (repeated access is
+    O(1)), and replays drop periodic checkpoints so later random accesses
+    stay cheap — but a full sequential walk (iteration, ``restriction``)
+    retains only O(steps / stride) snapshots, keeping light mode's memory
+    below a full trace even after the trace has been walked.
+
+    Slicing (including ``Execution.prefix``/``suffix``/``configurations``)
+    returns plain lists and therefore materializes every configuration in
+    the requested range — use indexed access or iteration when memory
+    matters.
+    """
+
+    __slots__ = ("_deltas", "_cache")
+
+    #: Every ``_CHECKPOINT_STRIDE``-th configuration materialized during a
+    #: replay is retained, bounding both replay length and cache growth.
+    _CHECKPOINT_STRIDE = 32
+
+    def __init__(
+        self,
+        initial: Configuration,
+        deltas: Sequence[Dict[VertexId, VertexStateLike]],
+    ) -> None:
+        self._deltas: Tuple[Dict[VertexId, VertexStateLike], ...] = tuple(deltas)
+        self._cache: Dict[int, Configuration] = {0: initial}
+
+    @classmethod
+    def from_activations(
+        cls,
+        initial: Configuration,
+        activations: Sequence[Sequence[ActivationRecord]],
+    ) -> "LazyConfigurationTrace":
+        """Build the trace from the activation records of each action."""
+        deltas = [
+            {record.vertex: record.new_state for record in records if record.changed}
+            for records in activations
+        ]
+        return cls(initial, deltas)
+
+    def __len__(self) -> int:
+        return len(self._deltas) + 1
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"configuration index {index} out of range")
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        start = index
+        while start not in self._cache:
+            start -= 1
+        states = self._cache[start].as_dict()
+        for action in range(start, index):
+            states.update(self._deltas[action])
+            position = action + 1
+            if position < index and position % self._CHECKPOINT_STRIDE == 0:
+                self._cache[position] = Configuration._from_trusted_dict(dict(states))
+        result = Configuration._from_trusted_dict(states)
+        self._cache[index] = result
+        return result
+
+    def __iter__(self) -> Iterator[Configuration]:
+        states: Optional[Dict[VertexId, VertexStateLike]] = None
+        for index in range(len(self)):
+            cached = self._cache.get(index)
+            if cached is not None:
+                states = None  # resume replaying from this snapshot
+                yield cached
+                continue
+            if states is None:
+                # The previous index is always available: index 0 is cached,
+                # and an uncached index follows either a cached one or a
+                # replayed one.
+                states = self._cache[index - 1].as_dict()
+            states.update(self._deltas[index - 1])
+            configuration = Configuration._from_trusted_dict(dict(states))
+            if index % self._CHECKPOINT_STRIDE == 0:
+                self._cache[index] = configuration
+            yield configuration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"LazyConfigurationTrace(length={len(self)}, "
+            f"materialized={len(self._cache)})"
+        )
 
 
 class Execution:
@@ -57,11 +153,38 @@ class Execution:
             raise SimulationError("need exactly one selection per action")
         if len(activations) != len(selections):
             raise SimulationError("need exactly one activation list per action")
-        self._configurations: List[Configuration] = list(configurations)
+        # Lazy traces are kept as-is so configurations materialize on demand.
+        self._configurations: Sequence[Configuration] = (
+            configurations
+            if isinstance(configurations, LazyConfigurationTrace)
+            else list(configurations)
+        )
         self._selections: List[FrozenSet[VertexId]] = [frozenset(s) for s in selections]
         self._activations: List[Tuple[ActivationRecord, ...]] = [tuple(a) for a in activations]
         self._enabled_sets: List[FrozenSet[VertexId]] = [frozenset(s) for s in enabled_sets]
         self.truncated = truncated
+
+    @classmethod
+    def from_activations(
+        cls,
+        initial: Configuration,
+        selections: Sequence[FrozenSet[VertexId]],
+        activations: Sequence[Sequence[ActivationRecord]],
+        enabled_sets: Sequence[FrozenSet[VertexId]],
+        truncated: bool,
+    ) -> "Execution":
+        """A light-trace execution: configurations reconstructed on demand.
+
+        Stores ``γ0`` plus the per-action activation deltas instead of every
+        configuration; see :class:`LazyConfigurationTrace`.
+        """
+        return cls(
+            configurations=LazyConfigurationTrace.from_activations(initial, activations),
+            selections=selections,
+            activations=activations,
+            enabled_sets=enabled_sets,
+            truncated=truncated,
+        )
 
     # ------------------------------------------------------------------ #
     # Basic accessors

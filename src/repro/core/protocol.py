@@ -52,6 +52,14 @@ class ActivationRecord:
         )
 
 
+#: Methods forming the enabledness chain; fast paths may replace them only
+#: when a subclass overrides none of them.
+_ENABLEDNESS_METHODS = ("is_enabled", "enabled_rules", "evaluate", "local_view")
+
+#: Additional transition methods the incremental engine replaces.
+_TRANSITION_METHODS = ("apply", "enabled_vertices", "prepared_step")
+
+
 class Protocol(ABC):
     """Base class of every distributed protocol in the library.
 
@@ -63,6 +71,40 @@ class Protocol(ABC):
 
     #: Human-readable protocol name, overridden by subclasses.
     name: str = "protocol"
+
+    def has_stock_enabledness(self) -> bool:
+        """Whether this protocol keeps the base-class enabledness chain.
+
+        Fast paths (the rules-hoisted :meth:`enabled_vertices` scan, the
+        adversarial daemon's lookahead) may bypass
+        :meth:`is_enabled`/:meth:`enabled_rules`/:meth:`evaluate`/
+        :meth:`local_view` only when none of them is overridden.
+
+        Only *class-level* overrides are detected; monkeypatching a method
+        on an instance is not supported and will be bypassed by the fast
+        paths — subclass instead.
+        """
+        cls = type(self)
+        return all(
+            getattr(cls, name) is getattr(Protocol, name)
+            for name in _ENABLEDNESS_METHODS
+        )
+
+    def has_stock_transitions(self) -> bool:
+        """Whether this protocol keeps the full base-class transition
+        semantics (enabledness chain plus :meth:`apply`/
+        :meth:`enabled_vertices`/:meth:`prepared_step`).
+
+        The incremental simulation engine replaces all of these with cached
+        equivalents, so it is only sound for protocols where this holds;
+        :meth:`choose_rule`, :meth:`validate_state` and :meth:`rules` may be
+        overridden freely — every engine calls them.
+        """
+        cls = type(self)
+        return self.has_stock_enabledness() and all(
+            getattr(cls, name) is getattr(Protocol, name)
+            for name in _TRANSITION_METHODS
+        )
 
     def __init__(self, graph: Graph) -> None:
         if graph.n == 0:
@@ -146,10 +188,27 @@ class Protocol(ABC):
         """The local view of ``vertex`` in ``configuration``."""
         return LocalView.from_configuration(configuration, vertex, self._graph)
 
+    def evaluate(
+        self,
+        configuration: Configuration,
+        vertex: VertexId,
+        rules: Optional[Sequence[Rule]] = None,
+    ) -> Tuple[LocalView, List[Rule]]:
+        """Evaluate every guard of ``vertex`` once: ``(view, enabled_rules)``.
+
+        ``rules`` lets callers hoist the :meth:`rules` lookup out of
+        per-vertex loops; the returned view can be reused to fire one of the
+        enabled rules, so guards are evaluated exactly once per vertex per
+        step (see :meth:`prepared_step` / :meth:`apply`).
+        """
+        view = self.local_view(configuration, vertex)
+        if rules is None:
+            rules = self.rules()
+        return view, [rule for rule in rules if rule.is_enabled(view)]
+
     def enabled_rules(self, configuration: Configuration, vertex: VertexId) -> List[Rule]:
         """The rules of ``vertex`` whose guard holds in ``configuration``."""
-        view = self.local_view(configuration, vertex)
-        return [rule for rule in self.rules() if rule.is_enabled(view)]
+        return self.evaluate(configuration, vertex)[1]
 
     def is_enabled(self, configuration: Configuration, vertex: VertexId) -> bool:
         """Whether ``vertex`` is enabled in ``configuration``."""
@@ -157,12 +216,45 @@ class Protocol(ABC):
 
     def enabled_vertices(self, configuration: Configuration) -> FrozenSet[VertexId]:
         """The set of enabled vertices in ``configuration``."""
+        if self.has_stock_enabledness():
+            # Fast path: hoist the rules lookup and build one view per
+            # vertex instead of re-resolving both per vertex per rule.
+            rules = self.rules()
+            graph = self._graph
+            enabled = []
+            for v in graph.vertices:
+                view = LocalView.from_configuration(configuration, v, graph)
+                if any(rule.is_enabled(view) for rule in rules):
+                    enabled.append(v)
+            return frozenset(enabled)
+        # A subclass customized the enabledness chain — honour it.
         return frozenset(
             v for v in self._graph.vertices if self.is_enabled(configuration, v)
         )
 
+    def prepared_step(
+        self, configuration: Configuration
+    ) -> Tuple[FrozenSet[VertexId], Dict[VertexId, Tuple[LocalView, List[Rule]]]]:
+        """Evaluate every vertex once: ``(enabled set, prepared evaluations)``.
+
+        ``prepared`` maps each *enabled* vertex to the ``(view, enabled
+        rules)`` pair produced by :meth:`evaluate`; passing it to
+        :meth:`apply` reuses those evaluations instead of re-running every
+        guard, so each step evaluates guards once per vertex.
+        """
+        rules = self.rules()
+        prepared: Dict[VertexId, Tuple[LocalView, List[Rule]]] = {}
+        for vertex in self._graph.vertices:
+            view, enabled_rules = self.evaluate(configuration, vertex, rules)
+            if enabled_rules:
+                prepared[vertex] = (view, enabled_rules)
+        return frozenset(prepared), prepared
+
     def apply(
-        self, configuration: Configuration, selected: Iterable[VertexId]
+        self,
+        configuration: Configuration,
+        selected: Iterable[VertexId],
+        prepared: Optional[Dict[VertexId, Tuple[LocalView, List[Rule]]]] = None,
     ) -> Tuple[Configuration, List[ActivationRecord]]:
         """Execute one action: activate every vertex in ``selected``.
 
@@ -174,16 +266,29 @@ class Protocol(ABC):
         Selected vertices that turn out to be disabled are ignored (the
         daemon abstraction already prevents this; tolerating it makes the
         method convenient for exploratory use).
+
+        ``prepared`` (from :meth:`prepared_step` on the *same*
+        configuration) short-circuits guard evaluation: selected vertices
+        absent from it are treated as disabled, present ones reuse the
+        stored view and enabled rules.
         """
         changes: Dict[VertexId, VertexStateLike] = {}
         records: List[ActivationRecord] = []
+        rules: Optional[Sequence[Rule]] = None
         for vertex in selected:
             if vertex not in self._graph:
                 raise ProtocolError(f"cannot activate unknown vertex {vertex!r}")
-            view = self.local_view(configuration, vertex)
-            enabled = [rule for rule in self.rules() if rule.is_enabled(view)]
-            if not enabled:
-                continue
+            if prepared is not None:
+                entry = prepared.get(vertex)
+                if entry is None:
+                    continue
+                view, enabled = entry
+            else:
+                if rules is None:
+                    rules = self.rules()
+                view, enabled = self.evaluate(configuration, vertex, rules)
+                if not enabled:
+                    continue
             rule = self.choose_rule(enabled, view)
             new_state = rule.apply(view)
             self.validate_state(vertex, new_state)

@@ -56,16 +56,38 @@ class LocalView:
         self.graph = graph
 
     @classmethod
+    def _from_trusted_parts(
+        cls,
+        vertex: VertexId,
+        state: VertexStateLike,
+        neighbor_states: Dict[VertexId, VertexStateLike],
+        graph: Graph,
+    ) -> "LocalView":
+        """Adopt ``neighbor_states`` without copying.
+
+        The caller transfers ownership of the dict and must not mutate it
+        afterwards.  The simulation hot paths build a fresh dict per view,
+        and the public constructor's defensive re-copy doubled the cost of
+        every view construction.
+        """
+        view = cls.__new__(cls)
+        view.vertex = vertex
+        view.state = state
+        view.neighbor_states = neighbor_states
+        view.graph = graph
+        return view
+
+    @classmethod
     def from_configuration(
         cls, configuration: Configuration, vertex: VertexId, graph: Graph
     ) -> "LocalView":
         """Build the view of ``vertex`` in ``configuration``."""
         neighbors = graph.neighbors(vertex)
-        return cls(
-            vertex=vertex,
-            state=configuration[vertex],
-            neighbor_states={u: configuration[u] for u in neighbors},
-            graph=graph,
+        return cls._from_trusted_parts(
+            vertex,
+            configuration[vertex],
+            {u: configuration[u] for u in neighbors},
+            graph,
         )
 
     @property

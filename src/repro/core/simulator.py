@@ -15,11 +15,18 @@ from typing import Callable, FrozenSet, List, Optional, Sequence
 from ..exceptions import SimulationError
 from ..types import VertexId
 from .daemons import Daemon
+from .engine import IncrementalEngine, protocol_supports_incremental
 from .execution import Execution
 from .protocol import ActivationRecord, Protocol
 from .state import Configuration
 
 __all__ = ["StepResult", "Simulator"]
+
+#: Engine selection values accepted by :class:`Simulator`.
+ENGINES = ("incremental", "reference")
+
+#: Trace modes accepted by :class:`Simulator` (see docs/engine.md).
+TRACE_MODES = ("full", "light")
 
 
 class StepResult:
@@ -61,6 +68,24 @@ class Simulator:
     rng:
         Source of randomness for the daemon (and nothing else).  Passing a
         seeded ``random.Random`` makes runs reproducible.
+    engine:
+        ``"incremental"`` (default) runs the dirty-set engine of
+        :mod:`repro.core.engine`: after each action only the changed
+        vertices and their neighbours are re-evaluated, guards run once per
+        vertex per step, and configurations are materialized only for the
+        trace.  ``"reference"`` runs the naive full-rescan semantics and
+        serves as the correctness oracle.  Protocols that override the
+        base-class transition methods automatically fall back to the
+        reference engine.
+    trace:
+        ``"full"`` (default) records every configuration in the returned
+        :class:`Execution`.  ``"light"`` records activations only and
+        reconstructs configurations on demand — same observable trace, far
+        less per-step work and memory.  Both engines honour both modes; in
+        light mode the incremental engine additionally hands daemons and
+        ``stop_when`` predicates a live read-only view of the current
+        states instead of per-step snapshots, so they must not retain it
+        across steps.
 
     Examples
     --------
@@ -79,11 +104,31 @@ class Simulator:
         protocol: Protocol,
         daemon: Daemon,
         rng: Optional[random.Random] = None,
+        engine: str = "incremental",
+        trace: str = "full",
     ) -> None:
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
+            )
+        if trace not in TRACE_MODES:
+            raise SimulationError(
+                f"unknown trace mode {trace!r}; known: {', '.join(TRACE_MODES)}"
+            )
         self._protocol = protocol
         self._daemon = daemon
         self._daemon.bind(protocol)
         self._rng = rng or random.Random(0)
+        # Protocols overriding hot-path transition methods keep their custom
+        # semantics: no incremental engine, and no prepared-evaluation
+        # threading either (their ``apply`` may predate the ``prepared``
+        # keyword and their enabledness chain must be honoured).
+        self._prepared_ok = protocol_supports_incremental(protocol)
+        if engine == "incremental" and not self._prepared_ok:
+            engine = "reference"
+        self._engine = engine
+        self._trace = trace
+        self._incremental: Optional[IncrementalEngine] = None
 
     @property
     def protocol(self) -> Protocol:
@@ -95,6 +140,16 @@ class Simulator:
         """The scheduling daemon."""
         return self._daemon
 
+    @property
+    def engine(self) -> str:
+        """The active engine ("incremental" or "reference")."""
+        return self._engine
+
+    @property
+    def trace(self) -> str:
+        """The trace mode executions are recorded with."""
+        return self._trace
+
     # ------------------------------------------------------------------ #
     # Single step
     # ------------------------------------------------------------------ #
@@ -104,7 +159,10 @@ class Simulator:
         If the configuration is terminal the result has ``terminal=True``
         and echoes the configuration unchanged.
         """
-        enabled = self._protocol.enabled_vertices(configuration)
+        if self._prepared_ok:
+            enabled, prepared = self._protocol.prepared_step(configuration)
+        else:
+            enabled, prepared = self._protocol.enabled_vertices(configuration), None
         if not enabled:
             return StepResult(
                 configuration=configuration,
@@ -114,7 +172,12 @@ class Simulator:
                 terminal=True,
             )
         selection = self._daemon.checked_select(enabled, configuration, step_index, self._rng)
-        new_configuration, records = self._protocol.apply(configuration, selection)
+        if prepared is not None:
+            new_configuration, records = self._protocol.apply(
+                configuration, selection, prepared=prepared
+            )
+        else:
+            new_configuration, records = self._protocol.apply(configuration, selection)
         return StepResult(
             configuration=new_configuration,
             selection=selection,
@@ -131,16 +194,54 @@ class Simulator:
         initial: Configuration,
         max_steps: int,
         stop_when: Optional[Callable[[Configuration, int], bool]] = None,
+        trace: Optional[str] = None,
     ) -> Execution:
         """Run up to ``max_steps`` actions starting from ``initial``.
 
         The run stops early when a terminal configuration is reached or when
         ``stop_when(configuration, step_index)`` returns True (the predicate
         is also evaluated on the initial configuration with index 0).
+
+        ``trace`` overrides the simulator's trace mode for this run.
         """
         if max_steps < 0:
             raise SimulationError("max_steps must be non-negative")
+        trace = trace if trace is not None else self._trace
+        if trace not in TRACE_MODES:
+            raise SimulationError(
+                f"unknown trace mode {trace!r}; known: {', '.join(TRACE_MODES)}"
+            )
         self._daemon.reset()
+        if self._engine == "incremental":
+            if self._incremental is None:
+                self._incremental = IncrementalEngine(self._protocol)
+            return self._incremental.run(
+                daemon=self._daemon,
+                rng=self._rng,
+                initial=initial,
+                max_steps=max_steps,
+                stop_when=stop_when,
+                trace=trace,
+            )
+        return self._run_reference(initial, max_steps, stop_when, trace)
+
+    def _run_reference(
+        self,
+        initial: Configuration,
+        max_steps: int,
+        stop_when: Optional[Callable[[Configuration, int], bool]],
+        trace: str,
+    ) -> Execution:
+        """The naive full-rescan semantics — the correctness oracle.
+
+        Every configuration is evaluated from scratch.  For stock protocols
+        guards still run only once per vertex per step because the
+        enabledness pass is shared with ``Protocol.apply`` (see
+        :meth:`Protocol.prepared_step`); protocols overriding hot-path
+        methods go through their own ``enabled_vertices``/``apply`` chain
+        unchanged.
+        """
+        light = trace == "light"
         configurations: List[Configuration] = [initial]
         selections: List[FrozenSet[VertexId]] = []
         activations: List[Sequence[ActivationRecord]] = []
@@ -149,7 +250,10 @@ class Simulator:
 
         current = initial
         for index in range(max_steps + 1):
-            enabled = self._protocol.enabled_vertices(current)
+            if self._prepared_ok:
+                enabled, prepared = self._protocol.prepared_step(current)
+            else:
+                enabled, prepared = self._protocol.enabled_vertices(current), None
             enabled_sets.append(enabled)
             if stop_when is not None and stop_when(current, index):
                 truncated = True
@@ -161,12 +265,26 @@ class Simulator:
                 truncated = True
                 break
             selection = self._daemon.checked_select(enabled, current, index, self._rng)
-            new_configuration, records = self._protocol.apply(current, selection)
+            if prepared is not None:
+                new_configuration, records = self._protocol.apply(
+                    current, selection, prepared=prepared
+                )
+            else:
+                new_configuration, records = self._protocol.apply(current, selection)
             selections.append(selection)
             activations.append(records)
-            configurations.append(new_configuration)
+            if not light:
+                configurations.append(new_configuration)
             current = new_configuration
 
+        if light:
+            return Execution.from_activations(
+                initial=initial,
+                selections=selections,
+                activations=activations,
+                enabled_sets=enabled_sets,
+                truncated=truncated,
+            )
         return Execution(
             configurations=configurations,
             selections=selections,

@@ -142,6 +142,7 @@ def measure_stabilization(
     horizon: int,
     rng: Optional[random.Random] = None,
     check_liveness: bool = False,
+    engine: str = "incremental",
 ) -> StabilizationMeasurement:
     """Run one execution and measure its observed stabilization time.
 
@@ -154,8 +155,11 @@ def measure_stabilization(
     check_liveness:
         When True, the specification's liveness condition is evaluated on
         the suffix starting at the observed stabilization point.
+    engine:
+        Simulation engine ("incremental" by default; "reference" replays
+        the naive semantics, useful to cross-check a measurement).
     """
-    simulator = Simulator(protocol, daemon, rng=rng or random.Random(0))
+    simulator = Simulator(protocol, daemon, rng=rng or random.Random(0), engine=engine)
     execution = simulator.run(initial, max_steps=horizon)
     index = observed_stabilization_index(execution, specification, protocol)
     stabilized = index is not None
@@ -182,6 +186,7 @@ def worst_case_stabilization(
     rng: Optional[random.Random] = None,
     check_liveness: bool = False,
     runs_per_configuration: int = 1,
+    engine: str = "incremental",
 ) -> WorstCaseStabilization:
     """Maximize the observed stabilization time over configurations and seeds.
 
@@ -205,6 +210,7 @@ def worst_case_stabilization(
                 horizon=horizon,
                 rng=random.Random(seed),
                 check_liveness=check_liveness,
+                engine=engine,
             )
             measurements.append(measurement)
     return WorstCaseStabilization(measurements)

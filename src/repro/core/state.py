@@ -5,6 +5,16 @@ graph (Section 2 of the paper).  Configurations are immutable and hashable
 (provided vertex states are hashable), which lets the simulator detect
 terminal configurations, cache enabled sets, and compare configurations for
 the lower-bound splicing construction.
+
+The incremental simulation engine additionally uses two mutable-world
+companions defined here:
+
+* :class:`ConfigurationBuffer` — a mutable vertex->state mapping updated in
+  place in O(Δ) per action, from which immutable :class:`Configuration`
+  snapshots are materialized only when the execution trace records them;
+* :class:`ConfigurationView` — a read-only *live* window onto a buffer,
+  handed to daemons and ``stop_when`` predicates in light-trace mode so no
+  snapshot has to be materialized for steps the trace does not keep.
 """
 
 from __future__ import annotations
@@ -14,7 +24,7 @@ from typing import Dict, Iterable, Iterator, Mapping, Tuple
 from ..exceptions import SimulationError
 from ..types import VertexId, VertexStateLike
 
-__all__ = ["Configuration"]
+__all__ = ["Configuration", "ConfigurationBuffer", "ConfigurationView"]
 
 
 class Configuration(Mapping[VertexId, VertexStateLike]):
@@ -34,6 +44,19 @@ class Configuration(Mapping[VertexId, VertexStateLike]):
     def __init__(self, states: Mapping[VertexId, VertexStateLike]):
         self._states: Dict[VertexId, VertexStateLike] = dict(states)
         self._hash = None
+
+    @classmethod
+    def _from_trusted_dict(cls, states: Dict[VertexId, VertexStateLike]) -> "Configuration":
+        """Wrap ``states`` without copying.
+
+        The caller transfers ownership of the dict and must never mutate it
+        afterwards; the simulation engine uses this to materialize snapshots
+        from its :class:`ConfigurationBuffer` with a single dict copy.
+        """
+        configuration = cls.__new__(cls)
+        configuration._states = states
+        configuration._hash = None
+        return configuration
 
     # -- Mapping interface -------------------------------------------------
     def __getitem__(self, vertex: VertexId) -> VertexStateLike:
@@ -80,7 +103,7 @@ class Configuration(Mapping[VertexId, VertexStateLike]):
                 raise SimulationError(f"cannot update unknown vertex {vertex!r}")
         merged = dict(self._states)
         merged.update(changes)
-        return Configuration(merged)
+        return Configuration._from_trusted_dict(merged)
 
     def restrict(self, vertices: Iterable[VertexId]) -> "Configuration":
         """The restriction of the configuration to ``vertices``.
@@ -105,3 +128,124 @@ class Configuration(Mapping[VertexId, VertexStateLike]):
     def as_dict(self) -> Dict[VertexId, VertexStateLike]:
         """A mutable copy of the underlying mapping."""
         return dict(self._states)
+
+
+class ConfigurationBuffer(Mapping[VertexId, VertexStateLike]):
+    """A mutable vertex->state mapping used internally by the engine.
+
+    Unlike :class:`Configuration`, updates happen in place (O(Δ) per action
+    for Δ changed vertices); immutable snapshots are materialized on demand
+    with :meth:`snapshot`, each costing one dict copy.
+    """
+
+    __slots__ = ("_states",)
+
+    def __init__(self, initial: Mapping[VertexId, VertexStateLike]) -> None:
+        self._states: Dict[VertexId, VertexStateLike] = dict(initial)
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, vertex: VertexId) -> VertexStateLike:
+        try:
+            return self._states[vertex]
+        except KeyError:
+            raise SimulationError(f"buffer has no state for vertex {vertex!r}") from None
+
+    def __iter__(self) -> Iterator[VertexId]:
+        return iter(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._states
+
+    # -- Mutation ----------------------------------------------------------
+    def apply_changes(self, changes: Mapping[VertexId, VertexStateLike]) -> None:
+        """Overwrite the states of ``changes`` in place (keys must exist)."""
+        for vertex in changes:
+            if vertex not in self._states:
+                raise SimulationError(f"cannot update unknown vertex {vertex!r}")
+        self._states.update(changes)
+
+    # -- Export ------------------------------------------------------------
+    def snapshot(self) -> Configuration:
+        """An immutable :class:`Configuration` copy of the current states."""
+        return Configuration._from_trusted_dict(dict(self._states))
+
+    def raw_states(self) -> Dict[VertexId, VertexStateLike]:
+        """The live underlying dict (engine internals only; do not leak)."""
+        return self._states
+
+    def view(self) -> "ConfigurationView":
+        """A read-only live view of this buffer."""
+        return ConfigurationView(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ConfigurationBuffer(n={len(self._states)})"
+
+
+class ConfigurationView(Mapping[VertexId, VertexStateLike]):
+    """A read-only *live* view of a :class:`ConfigurationBuffer`.
+
+    The engine passes views to daemons and ``stop_when`` predicates in
+    light-trace mode: they behave like the current configuration (including
+    the functional :meth:`updated`, which adversarial daemons use to look
+    ahead) without materializing a snapshot.  The view tracks the buffer —
+    callers must not retain it across steps; call :meth:`snapshot` to pin
+    the current states.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self, buffer: ConfigurationBuffer) -> None:
+        self._buffer = buffer
+
+    def __getitem__(self, vertex: VertexId) -> VertexStateLike:
+        return self._buffer[vertex]
+
+    def __iter__(self) -> Iterator[VertexId]:
+        return iter(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._buffer
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    # Live views are deliberately unhashable: their contents change under
+    # the caller's feet, so hashing one (e.g. for membership in a seen-set)
+    # would be a correctness trap.  Pin the states with snapshot() first.
+    __hash__ = None  # type: ignore[assignment]
+
+    def updated(self, changes: Mapping[VertexId, VertexStateLike]) -> Configuration:
+        """An immutable configuration: current states with ``changes`` applied."""
+        states = dict(self._buffer.raw_states())
+        for vertex in changes:
+            if vertex not in states:
+                raise SimulationError(f"cannot update unknown vertex {vertex!r}")
+        states.update(changes)
+        return Configuration._from_trusted_dict(states)
+
+    def restrict(self, vertices: Iterable[VertexId]) -> Configuration:
+        """The (immutable) restriction of the current states to ``vertices``."""
+        return self.snapshot().restrict(vertices)
+
+    def differing_vertices(self, other: "Configuration") -> Tuple[VertexId, ...]:
+        """Vertices whose current states differ from ``other``'s."""
+        return self.snapshot().differing_vertices(other)
+
+    def snapshot(self) -> Configuration:
+        """Pin the current states as an immutable :class:`Configuration`."""
+        return self._buffer.snapshot()
+
+    def as_dict(self) -> Dict[VertexId, VertexStateLike]:
+        """A mutable copy of the current states."""
+        return dict(self._buffer.raw_states())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ConfigurationView(n={len(self._buffer)})"

@@ -36,6 +36,7 @@ def run_experiment(
     ring_sizes: Optional[Sequence[int]] = None,
     configurations_per_graph: int = 8,
     seed: int = 0,
+    engine: str = "incremental",
 ) -> ExperimentReport:
     """Head-to-head synchronous stabilization on rings."""
     ring_sizes = list(ring_sizes) if ring_sizes is not None else list(DEFAULT_RING_SIZES)
@@ -60,6 +61,7 @@ def run_experiment(
             initial_configurations=ssme_workload,
             horizon=ssme.K + 4 * ssme.alpha + 16,
             rng=random.Random(rng.randrange(2**63)),
+            engine=engine,
         )
 
         dijkstra = DijkstraTokenRing(graph)
@@ -74,6 +76,7 @@ def run_experiment(
             initial_configurations=dijkstra_workload,
             horizon=8 * n + 80,
             rng=random.Random(rng.randrange(2**63)),
+            engine=engine,
         )
 
         ssme_steps = ssme_result.max_steps

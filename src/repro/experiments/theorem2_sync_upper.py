@@ -50,6 +50,7 @@ def run_experiment(
     random_configurations_per_graph: int = 8,
     seed: int = 0,
     check_liveness: bool = True,
+    engine: str = "incremental",
 ) -> ExperimentReport:
     """Measure SSME's synchronous stabilization across topologies."""
     sweep = list(sweep) if sweep is not None else list(DEFAULT_SWEEP)
@@ -79,6 +80,7 @@ def run_experiment(
             horizon=horizon,
             rng=random.Random(rng.randrange(2**63)),
             check_liveness=check_liveness,
+            engine=engine,
         )
         measured = result.max_steps
         row_upper = result.all_stabilized and measured is not None and measured <= bound

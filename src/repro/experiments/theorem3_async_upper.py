@@ -63,6 +63,7 @@ def run_experiment(
     random_configurations_per_graph: int = 3,
     runs_per_configuration: int = 1,
     seed: int = 0,
+    engine: str = "incremental",
 ) -> ExperimentReport:
     """Measure SSME's stabilization under unfair-style schedulers."""
     sweep = list(sweep) if sweep is not None else list(DEFAULT_SWEEP)
@@ -104,7 +105,10 @@ def run_experiment(
             for initial in workload:
                 for _ in range(runs_per_configuration):
                     simulator = Simulator(
-                        protocol, factory(), rng=random.Random(rng.randrange(2**63))
+                        protocol,
+                        factory(),
+                        rng=random.Random(rng.randrange(2**63)),
+                        engine=engine,
                     )
                     # Γ₁ is closed under every daemon (closure of spec_AU) and
                     # Theorem 1 shows no spec_ME violation can occur from a

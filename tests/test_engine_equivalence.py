@@ -1,0 +1,218 @@
+"""Property test: the incremental engine is observationally equal to the
+reference engine.
+
+For every protocol of the library, every daemon, random graph shapes and
+seeds, the execution produced by the incremental engine (in both trace
+modes) must match the reference engine's execution action for action:
+same configurations, same daemon selections, same enabled sets, same
+truncation verdict, and the same activation records per action (record
+*order* within one action follows set iteration order and is compared
+order-insensitively).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BfsSpanningTree, MaximalMatching
+from repro.core import (
+    AdversarialCentralDaemon,
+    CentralDaemon,
+    DistributedDaemon,
+    LocallyCentralDaemon,
+    RoundRobinCentralDaemon,
+    Simulator,
+    StarvationDaemon,
+    SynchronousDaemon,
+)
+from repro.graphs import random_connected_graph, ring_graph
+from repro.mutex import SSME, DijkstraTokenRing
+from repro.unison import AsynchronousUnison
+
+PROTOCOL_FACTORIES = {
+    "ssme": SSME,
+    "unison": lambda graph: AsynchronousUnison(graph, validate_parameters=False),
+    "bfs": BfsSpanningTree,
+    "matching": MaximalMatching,
+}
+
+DAEMON_FACTORIES = {
+    "sd": SynchronousDaemon,
+    "cd": CentralDaemon,
+    "cd-rr": RoundRobinCentralDaemon,
+    "cd-adv": AdversarialCentralDaemon,
+    "dd": lambda: DistributedDaemon(0.4),
+    "lcd": LocallyCentralDaemon,
+    "ud-starve": StarvationDaemon,
+}
+
+
+def _record_key(record):
+    return (repr(record.vertex), record.rule_name)
+
+
+def _normalized_records(execution):
+    """Per-action records as order-insensitive comparable lists."""
+    normalized = []
+    for index in range(execution.steps):
+        records = sorted(execution.activation_records(index), key=_record_key)
+        normalized.append(
+            [(r.vertex, r.rule_name, r.old_state, r.new_state) for r in records]
+        )
+    return normalized
+
+
+def naive_run(protocol, daemon, rng, initial, max_steps):
+    """A hand-rolled naive simulation loop, independent of the simulator's
+    shared-evaluation path: the oracle of oracles.
+
+    Uses only the public ``enabled_vertices`` + two-argument ``apply``
+    chain, mirroring the pre-engine semantics statement for statement.
+    """
+    daemon.bind(protocol)
+    daemon.reset()
+    configurations = [initial]
+    selections = []
+    enabled_sets = []
+    current = initial
+    for index in range(max_steps + 1):
+        enabled = protocol.enabled_vertices(current)
+        enabled_sets.append(enabled)
+        if not enabled or index == max_steps:
+            break
+        selection = daemon.checked_select(enabled, current, index, rng)
+        current, _ = protocol.apply(current, selection)
+        selections.append(selection)
+        configurations.append(current)
+    return configurations, selections, enabled_sets
+
+
+def assert_equivalent_runs(protocol, daemon_name, seed, steps):
+    """Run reference/full, incremental/full and incremental/light and
+    compare the three executions (plus a hand-rolled naive loop)."""
+    initial = protocol.random_configuration(random.Random(seed))
+    executions = []
+    for engine, trace in (
+        ("reference", "full"),
+        ("incremental", "full"),
+        ("incremental", "light"),
+    ):
+        simulator = Simulator(
+            protocol,
+            DAEMON_FACTORIES[daemon_name](),
+            rng=random.Random(seed + 1),
+            engine=engine,
+            trace=trace,
+        )
+        # The reference engine records full traces regardless of mode.
+        executions.append(simulator.run(initial, max_steps=steps))
+    reference, incremental, light = executions
+    for other in (incremental, light):
+        assert other.steps == reference.steps
+        assert other.truncated == reference.truncated
+        assert list(other.configurations) == list(reference.configurations)
+        assert [other.selection(i) for i in range(other.steps)] == [
+            reference.selection(i) for i in range(reference.steps)
+        ]
+        assert [other.enabled_at(i) for i in range(other.steps)] == [
+            reference.enabled_at(i) for i in range(reference.steps)
+        ]
+        assert _normalized_records(other) == _normalized_records(reference)
+
+    # The simulator's reference mode shares the single-evaluation fast path
+    # with the incremental engine; cross-check both against a naive loop
+    # that uses none of the new machinery.
+    naive_configs, naive_selections, naive_enabled = naive_run(
+        protocol,
+        DAEMON_FACTORIES[daemon_name](),
+        random.Random(seed + 1),
+        initial,
+        steps,
+    )
+    assert list(reference.configurations) == naive_configs
+    assert [reference.selection(i) for i in range(reference.steps)] == naive_selections
+    assert [
+        reference.enabled_at(i) for i in range(len(naive_enabled))
+    ] == naive_enabled
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    protocol_name=st.sampled_from(sorted(PROTOCOL_FACTORIES)),
+    daemon_name=st.sampled_from(sorted(DAEMON_FACTORIES)),
+    n=st.integers(2, 9),
+    p=st.floats(0.0, 0.5),
+    graph_seed=st.integers(0, 10_000),
+    seed=st.integers(0, 10_000),
+    steps=st.integers(0, 35),
+)
+def test_engines_agree_on_random_graphs(
+    protocol_name, daemon_name, n, p, graph_seed, seed, steps
+):
+    graph = random_connected_graph(n, p, random.Random(graph_seed))
+    protocol = PROTOCOL_FACTORIES[protocol_name](graph)
+    assert_equivalent_runs(protocol, daemon_name, seed, steps)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    daemon_name=st.sampled_from(sorted(DAEMON_FACTORIES)),
+    n=st.integers(3, 9),
+    seed=st.integers(0, 10_000),
+    steps=st.integers(0, 35),
+)
+def test_engines_agree_on_dijkstra_rings(daemon_name, n, seed, steps):
+    protocol = DijkstraTokenRing(ring_graph(n))
+    assert_equivalent_runs(protocol, daemon_name, seed, steps)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    protocol_name=st.sampled_from(sorted(PROTOCOL_FACTORIES)),
+    daemon_name=st.sampled_from(sorted(DAEMON_FACTORIES)),
+    seed=st.integers(0, 10_000),
+    threshold=st.integers(0, 6),
+)
+def test_engines_agree_with_stop_when(protocol_name, daemon_name, seed, threshold):
+    """``stop_when`` must observe the same configurations in both engines."""
+    graph = ring_graph(6)
+    protocol = PROTOCOL_FACTORIES[protocol_name](graph)
+    initial = protocol.random_configuration(random.Random(seed))
+    observed = {}
+
+    def runner(engine, trace):
+        seen = []
+
+        def stop_when(configuration, index):
+            seen.append(dict(configuration))
+            return index >= threshold
+
+        simulator = Simulator(
+            protocol,
+            DAEMON_FACTORIES[daemon_name](),
+            rng=random.Random(seed + 1),
+            engine=engine,
+            trace=trace,
+        )
+        execution = simulator.run(initial, max_steps=30, stop_when=stop_when)
+        return execution, seen
+
+    reference, seen_reference = runner("reference", "full")
+    light, seen_light = runner("incremental", "light")
+    assert seen_light == seen_reference
+    assert light.steps == reference.steps
+    assert light.truncated == reference.truncated
+    assert list(light.configurations) == list(reference.configurations)
+
+
+@pytest.mark.parametrize("daemon_name", sorted(DAEMON_FACTORIES))
+def test_engines_agree_until_terminal_on_silent_protocols(daemon_name):
+    """Silent protocols must reach the same terminal configuration."""
+    graph = random_connected_graph(7, 0.3, random.Random(3))
+    for factory in (BfsSpanningTree, MaximalMatching):
+        protocol = factory(graph)
+        assert_equivalent_runs(protocol, daemon_name, seed=11, steps=400)
