@@ -11,9 +11,18 @@ Not collected by pytest (``bench_*`` prefix); run it directly::
     PYTHONPATH=src python benchmarks/bench_engine_scaling.py --quick
     PYTHONPATH=src python benchmarks/bench_engine_scaling.py --json BENCH_engine.json
 
-The headline number (acceptance criterion of the incremental-engine PR) is
-the central-daemon speedup on ``ring_graph(200)``: the incremental engine
-must deliver >= 10x the reference engine's steps/sec.
+Both engines measure the **same trajectory**: identical initial
+configuration, seed and step budget (earlier revisions gave the incremental
+engine a 4x budget, which made it time a different — more expensive,
+post-stabilization — phase of the run than the reference did).
+
+Two headline numbers (acceptance criteria of the engine PRs) on
+``ring_graph(200)``:
+
+* central daemon (``cd``): incremental must deliver >= 10x the reference
+  engine's steps/sec (PR 1, dirty-set engine);
+* synchronous daemon (``sd``): >= 5x, up from ~1x before the batched
+  in-place view refresh (PR 2).
 """
 
 from __future__ import annotations
@@ -51,13 +60,18 @@ ENGINE_MODES = (
 )
 
 
-def _steps_for(n: int, engine: str) -> int:
-    """A step budget that keeps every combination in sub-second territory
-    for the slow engine while giving the fast one enough work to time."""
-    budget = max(200, 120_000 // n)
-    if engine == "incremental":
-        budget *= 4
-    return budget
+def _steps_for(n: int) -> int:
+    """The per-run step budget.
+
+    Identical for every engine: speedups are only meaningful when both
+    engines simulate the same execution prefix (a shorter budget would
+    keep the reference engine inside the cheap convergence phase while the
+    incremental engine times the expensive stabilized phase).  The budget
+    comfortably covers stabilization of the unison on a ring, so most of
+    the window measures the steady state — the regime the synchronous
+    daemon's batch fast path is built for.
+    """
+    return max(400, 480_000 // n)
 
 
 def _measure(
@@ -112,7 +126,7 @@ def run_benchmark(
                     daemon_name,
                     engine,
                     trace,
-                    steps=_steps_for(n, engine),
+                    steps=_steps_for(n),
                     seed=seed,
                     repeats=repeats,
                 )
@@ -153,20 +167,24 @@ def run_benchmark(
                         }
                     )
 
-    headline = {}
-    if 200 in sizes and "cd" in daemons:
-        base = throughput(200, "cd", "reference", "full")
-        full = throughput(200, "cd", "incremental", "full")
-        light = throughput(200, "cd", "incremental", "light")
-        if base and full and light:
-            headline = {
-                "daemon": "cd",
-                "n": 200,
-                "incremental_full_speedup": round(full / base, 2),
-                "incremental_light_speedup": round(light / base, 2),
-                "target": 10.0,
-                "meets_target": max(full, light) / base >= 10.0,
-            }
+    def make_headline(daemon: str, target: float) -> Dict[str, object]:
+        base = throughput(200, daemon, "reference", "full")
+        full = throughput(200, daemon, "incremental", "full")
+        light = throughput(200, daemon, "incremental", "light")
+        if not (base and full and light):
+            return {}
+        return {
+            "daemon": daemon,
+            "n": 200,
+            "reference_steps_per_sec": base,
+            "incremental_full_speedup": round(full / base, 2),
+            "incremental_light_speedup": round(light / base, 2),
+            "target": target,
+            "meets_target": max(full, light) / base >= target,
+        }
+
+    headline = make_headline("cd", 10.0) if 200 in sizes and "cd" in daemons else {}
+    headline_sd = make_headline("sd", 5.0) if 200 in sizes and "sd" in daemons else {}
 
     return {
         "benchmark": "engine_scaling",
@@ -177,6 +195,7 @@ def run_benchmark(
         "rows": rows,
         "speedups": speedups,
         "headline": headline,
+        "headline_sd": headline_sd,
     }
 
 
@@ -202,15 +221,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         json.dump(summary, handle, indent=2)
         handle.write("\n")
     print(f"\nwrote {args.json}")
-    if summary["headline"]:
-        head = summary["headline"]
+    status = 0
+    for key, label in (("headline", "cd"), ("headline_sd", "sd")):
+        head = summary.get(key)
+        if not head:
+            continue
         print(
-            f"headline: cd/ring(200) speedup full={head['incremental_full_speedup']}x "
+            f"headline: {label}/ring(200) speedup full={head['incremental_full_speedup']}x "
             f"light={head['incremental_light_speedup']}x "
             f"(target >= {head['target']}x: {'PASS' if head['meets_target'] else 'FAIL'})"
         )
-        return 0 if head["meets_target"] else 1
-    return 0
+        if not head["meets_target"]:
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

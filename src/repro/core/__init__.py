@@ -18,14 +18,16 @@ from .daemons import (
     is_weaker_than,
     make_daemon,
 )
-from .execution import Execution, LazyConfigurationTrace
+from .execution import Execution, LazyActivations, LazyConfigurationTrace
 from .simulator import Simulator, StepResult, synchronous_execution
 from .specification import SilentSpecification, Specification
 from .stabilization import (
+    SafetyMonitor,
     StabilizationMeasurement,
     WorstCaseStabilization,
     measure_stabilization,
     observed_stabilization_index,
+    observed_stabilization_indices,
     worst_case_stabilization,
 )
 from .speculation import (
@@ -49,6 +51,7 @@ __all__ = [
     "DistributedDaemon",
     "Execution",
     "IncrementalEngine",
+    "LazyActivations",
     "LazyConfigurationTrace",
     "LocalView",
     "LocallyCentralDaemon",
@@ -56,6 +59,7 @@ __all__ = [
     "Protocol",
     "RoundRobinCentralDaemon",
     "Rule",
+    "SafetyMonitor",
     "SilentSpecification",
     "Simulator",
     "SpeculationMeasurement",
@@ -72,6 +76,7 @@ __all__ = [
     "measure_speculation",
     "measure_stabilization",
     "observed_stabilization_index",
+    "observed_stabilization_indices",
     "protocol_supports_incremental",
     "run_speculation_study",
     "synchronous_execution",

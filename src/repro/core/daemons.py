@@ -123,6 +123,11 @@ class Daemon(ABC):
         if not enabled:
             raise DaemonError("select() called with no enabled vertex")
         selection = frozenset(self.select(enabled, configuration, step_index, rng))
+        if selection is enabled:
+            # The synchronous daemon returns the enabled set itself (and
+            # frozenset() of a frozenset is the same object); the subset
+            # check below would cost O(n) per step for nothing.
+            return selection
         if not selection:
             raise DaemonError(f"daemon {self.name!r} returned an empty selection")
         if not selection <= enabled:

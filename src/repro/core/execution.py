@@ -10,14 +10,80 @@ restrictions used by the lower-bound argument (Definition 8).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..exceptions import SimulationError
 from ..types import VertexId, VertexStateLike
 from .protocol import ActivationRecord
 from .state import Configuration
 
-__all__ = ["Execution", "LazyConfigurationTrace"]
+__all__ = ["Execution", "LazyActivations", "LazyConfigurationTrace"]
+
+
+class LazyActivations(Sequence):
+    """Per-action :class:`ActivationRecord` tuples, materialized on access.
+
+    The incremental engine's light-trace mode records each firing as a raw
+    ``(vertex, rule_name, old_state, new_state)`` tuple — building a record
+    *object* per firing costs more than the rest of the firing combined —
+    and wraps the per-action lists in this sequence.  Record tuples are
+    built per action when that action's records are requested, so sweeps
+    that never inspect activations never pay for them.
+
+    Unlike lazily reconstructed *configurations* (where a replay chain
+    makes caching necessary), rebuilding one action's records is O(firings
+    of that action), so only the most recently accessed action is cached:
+    memory stays O(1) even when every action of a long trace is visited.
+    Aggregates (:meth:`moves`, :meth:`rule_counts`,
+    :meth:`activated_vertices`) read the raw log directly and never
+    materialize a record.
+    """
+
+    __slots__ = ("_raw", "_cached_index", "_cached_records")
+
+    def __init__(self, raw: Sequence[Sequence[tuple]]) -> None:
+        self._raw = raw
+        self._cached_index = -1
+        self._cached_records: Tuple[ActivationRecord, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"action index {index} out of range")
+        if index != self._cached_index:
+            self._cached_records = tuple(
+                ActivationRecord(*raw) for raw in self._raw[index]
+            )
+            self._cached_index = index
+        return self._cached_records
+
+    # -- record-free aggregates -------------------------------------------
+    def activated_vertices(self, index: int) -> Set[VertexId]:
+        """The vertices that fired during action ``index`` (no records)."""
+        return {raw[0] for raw in self._raw[index]}
+
+    def moves(self) -> int:
+        """Total number of firings across every action (no records)."""
+        return sum(len(raws) for raws in self._raw)
+
+    def rule_counts(self) -> Dict[str, int]:
+        """Firings per rule name across every action (no records)."""
+        counts: Dict[str, int] = {}
+        for raws in self._raw:
+            for raw in raws:
+                name = raw[1]
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LazyActivations(actions={len(self._raw)})"
 
 
 class LazyConfigurationTrace(Sequence[Configuration]):
@@ -56,12 +122,21 @@ class LazyConfigurationTrace(Sequence[Configuration]):
         cls,
         initial: Configuration,
         activations: Sequence[Sequence[ActivationRecord]],
+        deltas: Optional[Sequence[Dict[VertexId, VertexStateLike]]] = None,
     ) -> "LazyConfigurationTrace":
-        """Build the trace from the activation records of each action."""
-        deltas = [
-            {record.vertex: record.new_state for record in records if record.changed}
-            for records in activations
-        ]
+        """Build the trace from the activation records of each action.
+
+        ``deltas`` lets a producer that already tracked the per-action state
+        changes (the incremental engine does) hand them over directly
+        instead of having them re-derived from the records; when given, they
+        must list, for every action, exactly the vertices whose state
+        changed during it.
+        """
+        if deltas is None:
+            deltas = [
+                {record.vertex: record.new_state for record in records if record.changed}
+                for records in activations
+            ]
         return cls(initial, deltas)
 
     def __len__(self) -> int:
@@ -91,23 +166,50 @@ class LazyConfigurationTrace(Sequence[Configuration]):
         return result
 
     def __iter__(self) -> Iterator[Configuration]:
+        return self.iter_from(0)
+
+    def iter_from(self, start: int = 0) -> Iterator[Configuration]:
+        """Iterate ``γ_start .. γ_end`` sequentially with bounded retention.
+
+        Unlike repeated ``[index]`` access (which caches every directly
+        requested configuration), a sequential walk through this iterator
+        retains only the periodic checkpoints — O(steps / stride) snapshots
+        no matter how much of the trace is visited.  Full-trace analyses
+        (safety scans, liveness windows) must use this, not per-index
+        access, to preserve light mode's memory bound.
+        """
+        if start < 0:
+            start += len(self)
+        if not 0 <= start < len(self):
+            raise IndexError(f"configuration index {start} out of range")
+        # Replay silently from the nearest cached predecessor of ``start``.
+        base = start
+        while base not in self._cache:
+            base -= 1
         states: Optional[Dict[VertexId, VertexStateLike]] = None
-        for index in range(len(self)):
+        for index in range(base, len(self)):
             cached = self._cache.get(index)
             if cached is not None:
                 states = None  # resume replaying from this snapshot
-                yield cached
-                continue
-            if states is None:
-                # The previous index is always available: index 0 is cached,
-                # and an uncached index follows either a cached one or a
-                # replayed one.
-                states = self._cache[index - 1].as_dict()
-            states.update(self._deltas[index - 1])
-            configuration = Configuration._from_trusted_dict(dict(states))
-            if index % self._CHECKPOINT_STRIDE == 0:
-                self._cache[index] = configuration
-            yield configuration
+                configuration = cached
+            else:
+                if states is None:
+                    # The previous index is always available: ``base`` is
+                    # cached, and an uncached index follows either a cached
+                    # one or a replayed one.
+                    states = self._cache[index - 1].as_dict()
+                states.update(self._deltas[index - 1])
+                configuration = Configuration._from_trusted_dict(dict(states))
+                if index % self._CHECKPOINT_STRIDE == 0:
+                    self._cache[index] = configuration
+            if index >= start:
+                yield configuration
+
+    @property
+    def materialized_count(self) -> int:
+        """How many configurations are currently cached (diagnostics and
+        the light-trace memory-bound regression test)."""
+        return len(self._cache)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
@@ -160,7 +262,13 @@ class Execution:
             else list(configurations)
         )
         self._selections: List[FrozenSet[VertexId]] = [frozenset(s) for s in selections]
-        self._activations: List[Tuple[ActivationRecord, ...]] = [tuple(a) for a in activations]
+        # Lazy activation logs are kept as-is so records materialize on
+        # demand (mirroring the lazy configuration trace).
+        self._activations: Sequence[Tuple[ActivationRecord, ...]] = (
+            activations
+            if isinstance(activations, LazyActivations)
+            else [tuple(a) for a in activations]
+        )
         self._enabled_sets: List[FrozenSet[VertexId]] = [frozenset(s) for s in enabled_sets]
         self.truncated = truncated
 
@@ -172,14 +280,18 @@ class Execution:
         activations: Sequence[Sequence[ActivationRecord]],
         enabled_sets: Sequence[FrozenSet[VertexId]],
         truncated: bool,
+        deltas: Optional[Sequence[Dict[VertexId, VertexStateLike]]] = None,
     ) -> "Execution":
         """A light-trace execution: configurations reconstructed on demand.
 
         Stores ``γ0`` plus the per-action activation deltas instead of every
-        configuration; see :class:`LazyConfigurationTrace`.
+        configuration; see :class:`LazyConfigurationTrace` (and its
+        ``from_activations`` for the optional pre-tracked ``deltas``).
         """
         return cls(
-            configurations=LazyConfigurationTrace.from_activations(initial, activations),
+            configurations=LazyConfigurationTrace.from_activations(
+                initial, activations, deltas
+            ),
             selections=selections,
             activations=activations,
             enabled_sets=enabled_sets,
@@ -215,13 +327,37 @@ class Execution:
         return not self.truncated
 
     def configuration(self, index: int) -> Configuration:
-        """``γ_index``."""
+        """``γ_index``.
+
+        On light traces every directly requested index is cached; scans that
+        touch a whole range must use :meth:`iter_configurations` instead,
+        which retains only O(steps/stride) checkpoints.
+        """
         try:
             return self._configurations[index]
         except IndexError:
             raise SimulationError(
                 f"configuration index {index} out of range (0..{self.steps})"
             ) from None
+
+    def iter_configurations(self, start: int = 0) -> Iterator[Configuration]:
+        """Iterate ``γ_start .. γ_steps`` sequentially.
+
+        This is the memory-safe way to walk a trace: on a light
+        (:class:`LazyConfigurationTrace`) execution it replays deltas with
+        bounded checkpoint retention instead of caching every visited
+        configuration the way per-index :meth:`configuration` access does.
+        All the trace-walking analyses in the library (safety scans,
+        stabilization indices, liveness windows) go through it.
+        """
+        if not 0 <= start <= self.steps:
+            raise SimulationError(
+                f"configuration index {start} out of range (0..{self.steps})"
+            )
+        configurations = self._configurations
+        if isinstance(configurations, LazyConfigurationTrace):
+            return configurations.iter_from(start)
+        return itertools.islice(iter(configurations), start, None)
 
     def selection(self, index: int) -> FrozenSet[VertexId]:
         """Vertices activated during action ``(γ_index, γ_{index+1})``."""
@@ -281,22 +417,34 @@ class Execution:
     def activated_steps(self, vertex: VertexId) -> List[int]:
         """Indices of the actions during which ``vertex`` fired a rule."""
         return [
-            i
-            for i, records in enumerate(self._activations)
-            if any(record.vertex == vertex for record in records)
+            i for i in range(self.steps) if vertex in self._activated_vertices(i)
         ]
 
     def rule_counts(self) -> Dict[str, int]:
         """How many times each rule fired over the whole execution."""
+        activations = self._activations
+        if isinstance(activations, LazyActivations):
+            return activations.rule_counts()
         counts: Dict[str, int] = {}
-        for records in self._activations:
+        for records in activations:
             for record in records:
                 counts[record.rule_name] = counts.get(record.rule_name, 0) + 1
         return counts
 
     def moves(self) -> int:
         """Total number of individual rule firings (moves)."""
-        return sum(len(records) for records in self._activations)
+        activations = self._activations
+        if isinstance(activations, LazyActivations):
+            return activations.moves()
+        return sum(len(records) for records in activations)
+
+    def _activated_vertices(self, index: int) -> Set[VertexId]:
+        """Vertices that fired during action ``index``, without forcing
+        record materialization on a lazy activation log."""
+        activations = self._activations
+        if isinstance(activations, LazyActivations):
+            return activations.activated_vertices(index)
+        return {record.vertex for record in activations[index]}
 
     def count_rounds(self) -> int:
         """Number of complete *rounds* in the trace.
@@ -317,8 +465,7 @@ class Execution:
                 break
             index = start
             while pending and index < self.steps:
-                activated = {record.vertex for record in self._activations[index]}
-                pending -= activated
+                pending -= self._activated_vertices(index)
                 next_enabled = (
                     self._enabled_sets[index + 1]
                     if index + 1 < len(self._enabled_sets)

@@ -72,6 +72,15 @@ class Protocol(ABC):
     #: Human-readable protocol name, overridden by subclasses.
     name: str = "protocol"
 
+    #: Subclasses may set this to True to declare that every rule action,
+    #: evaluated on a view whose states are all legal, produces a legal
+    #: state (``validate_state`` can never raise on an action's output).
+    #: Engines may then skip the per-firing re-validation on their hot
+    #: paths; external inputs (``configuration``/``validate_state`` callers)
+    #: are still validated.  Leave False unless the closure property
+    #: actually holds for every rule.
+    actions_preserve_validity: bool = False
+
     def has_stock_enabledness(self) -> bool:
         """Whether this protocol keeps the base-class enabledness chain.
 

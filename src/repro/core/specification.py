@@ -47,19 +47,29 @@ class Specification(ABC):
         self, execution: Execution, protocol: Protocol, start: int = 0
     ) -> Optional[int]:
         """Index of the first unsafe configuration at or after ``start``,
-        or ``None`` when every such configuration is safe."""
-        for index in range(start, execution.steps + 1):
-            if not self.is_safe(execution.configuration(index), protocol):
+        or ``None`` when every such configuration is safe.
+
+        The trace is walked sequentially (``iter_configurations``): on a
+        light execution a per-index walk would cache every reconstructed
+        configuration and silently balloon back to full-trace memory.
+        """
+        for index, configuration in enumerate(
+            execution.iter_configurations(start), start
+        ):
+            if not self.is_safe(configuration, protocol):
                 return index
         return None
 
     def last_unsafe_index(
         self, execution: Execution, protocol: Protocol
     ) -> Optional[int]:
-        """Index of the last unsafe configuration of the trace, or ``None``."""
+        """Index of the last unsafe configuration of the trace, or ``None``.
+
+        Sequential walk, same memory bound as :meth:`first_unsafe_index`.
+        """
         last = None
-        for index in range(execution.steps + 1):
-            if not self.is_safe(execution.configuration(index), protocol):
+        for index, configuration in enumerate(execution.iter_configurations()):
+            if not self.is_safe(configuration, protocol):
                 last = index
         return last
 

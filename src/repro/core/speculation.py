@@ -194,8 +194,17 @@ def measure_speculation(
     weak_bound: Optional[float] = None,
     strong_runs_per_configuration: int = 1,
     weak_runs_per_configuration: int = 1,
+    check_liveness: bool = False,
+    engine: str = "incremental",
+    trace: str = "full",
 ) -> SpeculationMeasurement:
-    """Measure one protocol instance under a strong and a weak daemon."""
+    """Measure one protocol instance under a strong and a weak daemon.
+
+    ``check_liveness``, ``engine`` and ``trace`` are forwarded unchanged to
+    :func:`worst_case_stabilization` for both daemons, so Definition 4
+    studies can verify liveness (SSME must actually serve every vertex),
+    cross-check against the reference oracle, and run on light traces.
+    """
     if not initial_configurations:
         raise SimulationError("need at least one initial configuration")
     rng = rng or random.Random(0)
@@ -206,7 +215,10 @@ def measure_speculation(
         initial_configurations=initial_configurations,
         horizon=strong_horizon,
         rng=random.Random(rng.randrange(2**63)),
+        check_liveness=check_liveness,
         runs_per_configuration=strong_runs_per_configuration,
+        engine=engine,
+        trace=trace,
     )
     weak = worst_case_stabilization(
         protocol=protocol,
@@ -215,7 +227,10 @@ def measure_speculation(
         initial_configurations=initial_configurations,
         horizon=weak_horizon,
         rng=random.Random(rng.randrange(2**63)),
+        check_liveness=check_liveness,
         runs_per_configuration=weak_runs_per_configuration,
+        engine=engine,
+        trace=trace,
     )
     strong_name = strong_daemon_factory().name
     weak_name = weak_daemon_factory().name
@@ -240,12 +255,17 @@ def run_speculation_study(
     rng: Optional[random.Random] = None,
     strong_runs_per_configuration: int = 1,
     weak_runs_per_configuration: int = 1,
+    check_liveness: bool = False,
+    engine: str = "incremental",
+    trace: str = "full",
 ) -> SpeculationStudy:
     """Run a Definition 4 study over a family of graphs.
 
     All the per-graph knobs (horizons, bounds, workload of initial
     configurations) are callables of the protocol instance so the study can
     scale them with ``n`` and ``diam(g)`` the way the paper's bounds do.
+    ``check_liveness``, ``engine`` and ``trace`` reach every underlying
+    measurement unchanged.
     """
     rng = rng or random.Random(0)
     measurements: List[SpeculationMeasurement] = []
@@ -268,6 +288,9 @@ def run_speculation_study(
             weak_bound=weak_bound(protocol) if weak_bound else None,
             strong_runs_per_configuration=strong_runs_per_configuration,
             weak_runs_per_configuration=weak_runs_per_configuration,
+            check_liveness=check_liveness,
+            engine=engine,
+            trace=trace,
         )
         measurements.append(measurement)
     return SpeculationStudy(protocol_name, measurements)

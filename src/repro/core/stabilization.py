@@ -18,7 +18,7 @@ worst case while every upper-bound theorem must still dominate it.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence
 
 from ..exceptions import SimulationError
 from .daemons import Daemon
@@ -29,12 +29,148 @@ from .specification import Specification
 from .state import Configuration
 
 __all__ = [
+    "SafetyMonitor",
     "StabilizationMeasurement",
     "WorstCaseStabilization",
     "observed_stabilization_index",
+    "observed_stabilization_indices",
     "measure_stabilization",
     "worst_case_stabilization",
 ]
+
+
+class SafetyMonitor:
+    """Online multi-specification safety monitor.
+
+    Instead of re-walking a recorded trace once per specification, the
+    monitor observes every configuration *as the run produces it* (via the
+    simulator's ``stop_when`` hook) and tracks, per specification, the first
+    and last index whose configuration violated safety — exactly the
+    quantities stabilization measurement needs.  One pass, any number of
+    specifications, no configuration retained; with a light trace the
+    measured run never materializes a configuration at all.
+
+    Usage::
+
+        monitor = SafetyMonitor([spec_a, spec_b], protocol)
+        execution = simulator.run(initial, max_steps=h, stop_when=monitor.observe)
+        index_a = monitor.stabilization_index(spec_a)
+
+    An optional wrapped ``stop_when`` predicate is evaluated *after* the
+    observation is recorded, so it may interrogate the monitor about the
+    configuration it is deciding on (see :meth:`is_currently_safe`).
+
+    In light-trace mode :meth:`observe` receives a live read-only view; the
+    monitor only derives booleans from it and never retains it, which is
+    exactly the contract such views require.
+    """
+
+    __slots__ = (
+        "_protocol",
+        "_specs",
+        "_checks",
+        "_first_unsafe",
+        "_last_unsafe",
+        "_last_index",
+        "_stop_when",
+    )
+
+    def __init__(
+        self,
+        specifications: Sequence[Specification],
+        protocol: Protocol,
+        stop_when: Optional[Callable[[Configuration, int], bool]] = None,
+    ) -> None:
+        specs = tuple(specifications)
+        if not specs:
+            raise SimulationError("SafetyMonitor needs at least one specification")
+        self._protocol = protocol
+        self._specs = specs
+        self._checks = [spec.is_safe for spec in specs]
+        self._first_unsafe: List[Optional[int]] = [None] * len(specs)
+        self._last_unsafe: List[Optional[int]] = [None] * len(specs)
+        self._last_index = -1
+        self._stop_when = stop_when
+
+    def reset(self) -> None:
+        """Forget all observations (reuse the monitor for another run)."""
+        self._first_unsafe = [None] * len(self._specs)
+        self._last_unsafe = [None] * len(self._specs)
+        self._last_index = -1
+
+    # ------------------------------------------------------------------ #
+    # The stop_when-compatible callback
+    # ------------------------------------------------------------------ #
+    def observe(self, configuration: Mapping, index: int) -> bool:
+        """Record safety of ``configuration`` at ``index``.
+
+        Drop-in ``stop_when`` predicate: returns False (never stops the
+        run) unless a wrapped ``stop_when`` was supplied, in which case its
+        verdict — evaluated after the observation — is returned.
+        """
+        if index != self._last_index + 1:
+            raise SimulationError(
+                f"monitor observed index {index} after {self._last_index}; "
+                "observations must be gapless (one run per monitor, or reset())"
+            )
+        self._last_index = index
+        protocol = self._protocol
+        for position, check in enumerate(self._checks):
+            if not check(configuration, protocol):
+                self._last_unsafe[position] = index
+                if self._first_unsafe[position] is None:
+                    self._first_unsafe[position] = index
+        if self._stop_when is not None:
+            return self._stop_when(configuration, index)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def _position(self, specification: Specification) -> int:
+        for position, spec in enumerate(self._specs):
+            if spec is specification:
+                return position
+        raise SimulationError("specification was not monitored")
+
+    @property
+    def observed_steps(self) -> int:
+        """Index of the last observed configuration (-1 before any)."""
+        return self._last_index
+
+    def is_currently_safe(self, specification: Specification) -> bool:
+        """Whether the most recently observed configuration was safe."""
+        if self._last_index < 0:
+            raise SimulationError("monitor has observed no configuration yet")
+        return self._last_unsafe[self._position(specification)] != self._last_index
+
+    def first_unsafe_index(self, specification: Specification) -> Optional[int]:
+        """First observed unsafe index for ``specification`` (or ``None``)."""
+        return self._first_unsafe[self._position(specification)]
+
+    def last_unsafe_index(self, specification: Specification) -> Optional[int]:
+        """Last observed unsafe index for ``specification`` (or ``None``)."""
+        return self._last_unsafe[self._position(specification)]
+
+    def stabilization_index(self, specification: Specification) -> Optional[int]:
+        """The observed stabilization index over the observed prefix.
+
+        Same contract as :func:`observed_stabilization_index`: smallest
+        ``s`` such that every observed configuration from ``s`` on was
+        safe, ``None`` when the last observed configuration was unsafe.
+        """
+        last_unsafe = self._last_unsafe[self._position(specification)]
+        if last_unsafe is None:
+            return 0
+        if last_unsafe == self._last_index:
+            return None
+        return last_unsafe + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SafetyMonitor(specs={[s.name for s in self._specs]!r}, "
+            f"observed={self._last_index + 1})"
+        )
 
 
 class StabilizationMeasurement:
@@ -134,6 +270,25 @@ def observed_stabilization_index(
     return last_unsafe + 1
 
 
+def observed_stabilization_indices(
+    execution: Execution,
+    specifications: Sequence[Specification],
+    protocol: Protocol,
+) -> List[Optional[int]]:
+    """Observed stabilization indices of several specifications in **one**
+    sequential pass over the trace.
+
+    Equivalent to calling :func:`observed_stabilization_index` once per
+    specification, but the (possibly lazily reconstructed) configurations
+    are visited a single time, and on light traces only O(steps/stride)
+    of them are retained.
+    """
+    monitor = SafetyMonitor(specifications, protocol)
+    for index, configuration in enumerate(execution.iter_configurations()):
+        monitor.observe(configuration, index)
+    return [monitor.stabilization_index(spec) for spec in specifications]
+
+
 def measure_stabilization(
     protocol: Protocol,
     daemon: Daemon,
@@ -143,8 +298,13 @@ def measure_stabilization(
     rng: Optional[random.Random] = None,
     check_liveness: bool = False,
     engine: str = "incremental",
+    trace: str = "full",
 ) -> StabilizationMeasurement:
     """Run one execution and measure its observed stabilization time.
+
+    Safety is monitored **online** (:class:`SafetyMonitor` riding the
+    simulator's ``stop_when`` hook): the stabilization index is known the
+    moment the run ends and the trace is never re-walked for it.
 
     Parameters
     ----------
@@ -158,10 +318,18 @@ def measure_stabilization(
     engine:
         Simulation engine ("incremental" by default; "reference" replays
         the naive semantics, useful to cross-check a measurement).
+    trace:
+        Trace mode of the underlying run.  With ``"light"`` the safety
+        monitor reads live views and no configuration is materialized by
+        the measurement itself; liveness checks (and any later trace
+        inspection) reconstruct configurations on demand.
     """
-    simulator = Simulator(protocol, daemon, rng=rng or random.Random(0), engine=engine)
-    execution = simulator.run(initial, max_steps=horizon)
-    index = observed_stabilization_index(execution, specification, protocol)
+    simulator = Simulator(
+        protocol, daemon, rng=rng or random.Random(0), engine=engine, trace=trace
+    )
+    monitor = SafetyMonitor([specification], protocol)
+    execution = simulator.run(initial, max_steps=horizon, stop_when=monitor.observe)
+    index = monitor.stabilization_index(specification)
     stabilized = index is not None
     liveness_ok: Optional[bool] = None
     if check_liveness and stabilized:
@@ -187,6 +355,7 @@ def worst_case_stabilization(
     check_liveness: bool = False,
     runs_per_configuration: int = 1,
     engine: str = "incremental",
+    trace: str = "full",
 ) -> WorstCaseStabilization:
     """Maximize the observed stabilization time over configurations and seeds.
 
@@ -194,6 +363,8 @@ def worst_case_stabilization(
     start clean), and each initial configuration is replayed
     ``runs_per_configuration`` times with different seeds — only useful for
     randomized daemons; deterministic daemons produce identical runs.
+    ``trace`` is forwarded to every underlying run; sweeps that only need
+    the indices should pass ``"light"``.
     """
     if runs_per_configuration < 1:
         raise SimulationError("runs_per_configuration must be >= 1")
@@ -211,6 +382,7 @@ def worst_case_stabilization(
                 rng=random.Random(seed),
                 check_liveness=check_liveness,
                 engine=engine,
+                trace=trace,
             )
             measurements.append(measurement)
     return WorstCaseStabilization(measurements)

@@ -167,6 +167,17 @@ class ConfigurationBuffer(Mapping[VertexId, VertexStateLike]):
                 raise SimulationError(f"cannot update unknown vertex {vertex!r}")
         self._states.update(changes)
 
+    def apply_trusted_changes(self, changes: Mapping[VertexId, VertexStateLike]) -> None:
+        """Like :meth:`apply_changes` without the per-key membership check.
+
+        For callers that construct ``changes`` from the buffer's own vertex
+        set (the simulation engine's firing loop does: every key comes from
+        a daemon selection validated against the enabled set); the check is
+        pure per-action overhead there, and it dominates the batch fast
+        path where Δ is the whole graph.
+        """
+        self._states.update(changes)
+
     # -- Export ------------------------------------------------------------
     def snapshot(self) -> Configuration:
         """An immutable :class:`Configuration` copy of the current states."""

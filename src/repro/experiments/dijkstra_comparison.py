@@ -62,6 +62,7 @@ def run_experiment(
             horizon=ssme.K + 4 * ssme.alpha + 16,
             rng=random.Random(rng.randrange(2**63)),
             engine=engine,
+            trace="light",
         )
 
         dijkstra = DijkstraTokenRing(graph)
@@ -77,6 +78,7 @@ def run_experiment(
             horizon=8 * n + 80,
             rng=random.Random(rng.randrange(2**63)),
             engine=engine,
+            trace="light",
         )
 
         ssme_steps = ssme_result.max_steps

@@ -72,6 +72,9 @@ def run_experiment(
         # steps and passing every privileged value takes at most K + diam more,
         # so one clock period plus a 4n slack covers the liveness check.
         horizon = protocol.K + 4 * protocol.alpha + 16
+        # Light traces end to end: the safety monitor streams the
+        # stabilization index during the run and the liveness window
+        # reconstructs configurations on demand with bounded retention.
         result = worst_case_stabilization(
             protocol=protocol,
             daemon_factory=SynchronousDaemon,
@@ -81,6 +84,7 @@ def run_experiment(
             rng=random.Random(rng.randrange(2**63)),
             check_liveness=check_liveness,
             engine=engine,
+            trace="light",
         )
         measured = result.max_steps
         row_upper = result.all_stabilized and measured is not None and measured <= bound

@@ -24,9 +24,9 @@ from ..core import (
     CentralDaemon,
     Daemon,
     DistributedDaemon,
+    SafetyMonitor,
     Simulator,
     StarvationDaemon,
-    observed_stabilization_index,
 )
 from ..graphs import make_topology
 from ..mutex import SSME, MutualExclusionSpec
@@ -101,7 +101,10 @@ def run_experiment(
         per_daemon: Dict[str, Optional[int]] = {}
         stabilized_everywhere = True
         for daemon_name, factory in daemon_factories:
-            daemon_worst_unison: Optional[int] = 0
+            # None until a run actually stabilized: a daemon whose every
+            # run failed must be reported as None, not as an (impossible)
+            # instant stabilization at 0.
+            daemon_worst_unison: Optional[int] = None
             for initial in workload:
                 for _ in range(runs_per_configuration):
                     simulator = Simulator(
@@ -109,30 +112,34 @@ def run_experiment(
                         factory(),
                         rng=random.Random(rng.randrange(2**63)),
                         engine=engine,
+                        trace="light",
                     )
-                    # Γ₁ is closed under every daemon (closure of spec_AU) and
-                    # Theorem 1 shows no spec_ME violation can occur from a
-                    # Γ₁ configuration, so the run can stop as soon as Γ₁ is
-                    # reached: both stabilization indices are already decided.
-                    execution = simulator.run(
-                        initial,
-                        max_steps=horizon,
-                        stop_when=lambda config, index: protocol.is_legitimate(config),
+                    # Both specifications are monitored online in one pass
+                    # (no post-hoc trace walks).  Γ₁ is closed under every
+                    # daemon (closure of spec_AU) and Theorem 1 shows no
+                    # spec_ME violation can occur from a Γ₁ configuration,
+                    # so the run can stop as soon as Γ₁ is reached — and Γ₁
+                    # membership *is* spec_AU safety, which the monitor has
+                    # just evaluated for the configuration under decision.
+                    monitor = SafetyMonitor(
+                        (unison_specification, mutex_specification),
+                        protocol,
+                        stop_when=lambda config, index: monitor.is_currently_safe(
+                            unison_specification
+                        ),
                     )
-                    if not protocol.is_legitimate(execution.final):
-                        stabilized_everywhere = False
-                        continue
-                    unison_steps = observed_stabilization_index(
-                        execution, unison_specification, protocol
-                    )
-                    mutex_steps = observed_stabilization_index(
-                        execution, mutex_specification, protocol
-                    )
+                    simulator.run(initial, max_steps=horizon, stop_when=monitor.observe)
+                    unison_steps = monitor.stabilization_index(unison_specification)
+                    mutex_steps = monitor.stabilization_index(mutex_specification)
                     if unison_steps is None or mutex_steps is None:
                         stabilized_everywhere = False
                         continue
                     worst_mutex = max(worst_mutex, mutex_steps)
-                    daemon_worst_unison = max(daemon_worst_unison or 0, unison_steps)
+                    daemon_worst_unison = (
+                        unison_steps
+                        if daemon_worst_unison is None
+                        else max(daemon_worst_unison, unison_steps)
+                    )
                     if unison_steps >= worst_unison:
                         worst_unison = unison_steps
                         worst_daemon = daemon_name

@@ -34,8 +34,11 @@ def critical_section_events(
     if not isinstance(protocol, PrivilegeAware):
         raise SpecificationError("protocol does not define a privilege predicate")
     events: List[Tuple[int, VertexId]] = []
+    # Sequential walk: per-index configuration access would pin every
+    # reconstructed configuration of a light trace (see docs/engine.md).
+    configurations = execution.iter_configurations()
     for index in range(execution.steps):
-        configuration = execution.configuration(index)
+        configuration = next(configurations)
         selection = execution.selection(index)
         for vertex in selection:
             if protocol.is_privileged(configuration, vertex):

@@ -73,6 +73,11 @@ class AsynchronousUnison(Protocol):
 
     name = "asynchronous-unison"
 
+    #: The actions are closed over the cherry: NA/CA apply ``phi`` (which
+    #: maps the domain into itself) and RA resets to ``-alpha``, so engines
+    #: may skip re-validating fired states.
+    actions_preserve_validity = True
+
     #: Rule labels, matching Algorithm 1.
     RULE_NORMAL = "NA"
     RULE_CONVERGE = "CA"
@@ -104,6 +109,11 @@ class AsynchronousUnison(Protocol):
                 raise ProtocolError(
                     f"K={self._clock.K} violates K > cyclo(g) (upper bound {cyclo_bound})"
                 )
+        # Plain-int copies of the clock parameters for the guard fast paths
+        # (attribute reads, not property descriptor calls, on the hot path).
+        self._K = self._clock.K
+        self._K1 = self._clock.K - 1
+        self._alpha = self._clock.alpha
         self._rules = self._build_rules()
 
     # ------------------------------------------------------------------ #
@@ -141,32 +151,72 @@ class AsynchronousUnison(Protocol):
             self.correct_pair(view.state, ru) for ru in view.neighbor_states.values()
         )
 
+    # The three guards below are the hottest code in the whole library:
+    # every engine evaluates them once per vertex per step.  They inline
+    # ``correct_pair``/``distance``/``local_le`` into direct integer
+    # arithmetic on the cached ``K``/``alpha`` — for values in
+    # ``[0, K)`` canonicalization is the identity, ``distance <= 1`` is
+    # ``diff <= 1 or K - diff <= 1`` for ``diff = (rv - ru) % K``, and
+    # ``local_le(rv, ru)`` is ``(ru - rv) % K <= 1`` — so the guards are
+    # loop-free of method calls.  ``test_unison_protocol``/
+    # ``test_protocol_hypothesis`` pin them to the predicate definitions.
     def _normal_step(self, view: LocalView) -> bool:
-        if not self._all_correct(view):
+        # For rv, ru ∈ [0, K) the conjunction ``distance(rv, ru) <= 1 and
+        # local_le(rv, ru)`` reduces to ``rv - ru ∈ {0, -1, K-1}`` (the
+        # neighbour holds the same value or the cyclic successor/equal — the
+        # local_le side rules out the neighbour lagging behind).
+        K = self._K
+        rv = view.state
+        if not 0 <= rv < K:
             return False
-        return all(
-            self._clock.local_le(view.state, ru)
-            for ru in view.neighbor_states.values()
-        )
+        lag = self._K1
+        for ru in view.neighbor_states.values():
+            if not 0 <= ru < K:
+                return False
+            d = rv - ru
+            if d != 0 and d != -1 and d != lag:
+                return False
+        return True
 
     def _converge_step(self, view: LocalView) -> bool:
-        clock = self._clock
-        if not clock.is_strict_initial(view.state):
+        rv = view.state
+        if not -self._alpha <= rv < 0:
             return False
         return all(
-            clock.is_initial(ru) and view.state <= ru
-            for ru in view.neighbor_states.values()
+            ru <= 0 and rv <= ru for ru in view.neighbor_states.values()
         )
 
     def _reset_init(self, view: LocalView) -> bool:
-        return not self._all_correct(view) and not self._clock.is_initial(view.state)
+        # ``not allCorrect and not initial``; for in-range values
+        # ``distance > 1`` is ``rv - ru ∉ {0, ±1, ±(K-1)}``.
+        rv = view.state
+        if -self._alpha <= rv <= 0:
+            return False
+        K = self._K
+        if not 0 <= rv < K:
+            return True
+        lag = self._K1
+        for ru in view.neighbor_states.values():
+            if not 0 <= ru < K:
+                return True
+            d = rv - ru
+            if d != 0 and d != 1 and d != -1 and d != lag and d != -lag:
+                return True
+        return False
+
+    def _phi_action(self, view: LocalView) -> int:
+        # ``clock.phi`` restricted to in-domain values: the NA/CA guards
+        # gating this action guarantee the state is inside the cherry, so
+        # the domain re-check of ``phi`` is skipped on the firing hot path.
+        rv = view.state
+        return rv + 1 if rv < 0 else (rv + 1) % self._K
 
     def _build_rules(self) -> List[Rule]:
-        clock = self._clock
+        reset_value = self._clock.reset_value()
         return [
-            Rule(self.RULE_NORMAL, self._normal_step, lambda view: clock.phi(view.state)),
-            Rule(self.RULE_CONVERGE, self._converge_step, lambda view: clock.phi(view.state)),
-            Rule(self.RULE_RESET, self._reset_init, lambda view: clock.reset_value()),
+            Rule(self.RULE_NORMAL, self._normal_step, self._phi_action),
+            Rule(self.RULE_CONVERGE, self._converge_step, self._phi_action),
+            Rule(self.RULE_RESET, self._reset_init, lambda view: reset_value),
         ]
 
     # ------------------------------------------------------------------ #
@@ -186,7 +236,9 @@ class AsynchronousUnison(Protocol):
         return 0
 
     def validate_state(self, vertex: VertexId, state) -> None:
-        if not isinstance(state, int) or not self._clock.contains(state):
+        # Called once per firing by every engine; the containment test is
+        # inlined (no ``clock.contains`` call) to keep it cheap.
+        if not isinstance(state, int) or not -self._alpha <= state < self._K:
             raise ProtocolError(
                 f"state {state!r} of vertex {vertex!r} is outside "
                 f"cherry({self._clock.alpha}, {self._clock.K})"

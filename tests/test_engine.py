@@ -102,6 +102,31 @@ class GatedTokenPassing(TokenPassing):
         self._rules = [NeighborGatedRule(rule.name, rule.guard, rule.action)]
 
 
+class OverlappingRulesProtocol(Protocol):
+    """Two rules with overlapping guards plus a ``choose_rule`` override
+    that arbitrates (last enabled rule instead of the stock first).  The
+    incremental engine must honour the override and therefore take its
+    full-evaluation path instead of the first-enabled-rule fast path."""
+
+    name = "overlapping"
+
+    def __init__(self, graph):
+        super().__init__(graph)
+        self._rules = [
+            Rule("inc", lambda view: view.state < 3, lambda view: view.state + 1),
+            Rule("reset", lambda view: 0 < view.state < 3, lambda view: 0),
+        ]
+
+    def rules(self) -> Sequence[Rule]:
+        return self._rules
+
+    def random_state(self, vertex, rng: random.Random) -> int:
+        return rng.randrange(4)
+
+    def choose_rule(self, enabled_rules, view):
+        return enabled_rules[-1]
+
+
 class TestConfigurationBuffer:
     def test_mapping_interface(self):
         buffer = ConfigurationBuffer({0: 1, 1: 2})
@@ -309,6 +334,32 @@ class TestEngineSelection:
             assert execution.enabled_at(0) == frozenset()
             assert execution.is_terminal
             assert execution.final == gamma
+
+    def test_choose_rule_override_honoured_by_incremental_engine(self):
+        """An overridden ``choose_rule`` (overlapping guards) is called by
+        both engines and the executions stay identical."""
+        graph = ring_graph(6)
+        protocol = OverlappingRulesProtocol(graph)
+        assert protocol_supports_incremental(protocol)
+        initial = protocol.random_configuration(random.Random(3))
+        runs = {}
+        for engine in ("incremental", "reference"):
+            simulator = Simulator(
+                protocol, SynchronousDaemon(), rng=random.Random(1), engine=engine
+            )
+            execution = simulator.run(initial, max_steps=12)
+            runs[engine] = execution
+        incremental, reference = runs["incremental"], runs["reference"]
+        assert list(incremental.configurations) == list(reference.configurations)
+        # Where both guards held, the override's pick (the *last* enabled
+        # rule, "reset") must have fired.
+        fired = {
+            record.rule_name
+            for i in range(incremental.steps)
+            for record in incremental.activation_records(i)
+            if 0 < record.old_state < 3
+        }
+        assert fired == {"reset"}
 
     def test_reference_engine_supports_light_trace(self):
         protocol = AsynchronousUnison(ring_graph(5))

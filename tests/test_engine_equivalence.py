@@ -22,6 +22,7 @@ from repro.baselines import BfsSpanningTree, MaximalMatching
 from repro.core import (
     AdversarialCentralDaemon,
     CentralDaemon,
+    Daemon,
     DistributedDaemon,
     LocallyCentralDaemon,
     RoundRobinCentralDaemon,
@@ -40,6 +41,23 @@ PROTOCOL_FACTORIES = {
     "matching": MaximalMatching,
 }
 
+
+class AlternatingDaemon(Daemon):
+    """Alternates synchronous (full) and single-vertex selections.
+
+    Crossing the incremental engine's dense/sparse refresh threshold on
+    every other action exercises the switch between the batch and dirty-set
+    refresh paths within a single run.
+    """
+
+    name = "alt"
+
+    def select(self, enabled, configuration, step_index, rng):
+        if step_index % 2 == 0:
+            return enabled
+        return frozenset({self._ordered_enabled(enabled)[0]})
+
+
 DAEMON_FACTORIES = {
     "sd": SynchronousDaemon,
     "cd": CentralDaemon,
@@ -48,6 +66,15 @@ DAEMON_FACTORIES = {
     "dd": lambda: DistributedDaemon(0.4),
     "lcd": LocallyCentralDaemon,
     "ud-starve": StarvationDaemon,
+    "alt": AlternatingDaemon,
+}
+
+#: Daemons whose selections are dense enough to drive the engine into its
+#: batch-refresh path on essentially every action.
+DENSE_DAEMON_FACTORIES = {
+    "sd": SynchronousDaemon,
+    "dd-dense": lambda: DistributedDaemon(0.9),
+    "alt": AlternatingDaemon,
 }
 
 
@@ -168,6 +195,54 @@ def test_engines_agree_on_random_graphs(
 def test_engines_agree_on_dijkstra_rings(daemon_name, n, seed, steps):
     protocol = DijkstraTokenRing(ring_graph(n))
     assert_equivalent_runs(protocol, daemon_name, seed, steps)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    protocol_name=st.sampled_from(sorted(PROTOCOL_FACTORIES)),
+    daemon_name=st.sampled_from(sorted(DENSE_DAEMON_FACTORIES)),
+    n=st.integers(16, 40),
+    seed=st.integers(0, 10_000),
+    steps=st.integers(1, 12),
+)
+def test_engines_agree_in_batch_refresh_regime(
+    protocol_name, daemon_name, n, seed, steps
+):
+    """Reference ≡ incremental specifically where the batch refresh kicks in.
+
+    ``n`` is large enough (and the selections dense enough) that
+    ``len(changes) >= n // 4`` holds on essentially every action, so these
+    runs exercise the persistent-view batch scan — including the mid-run
+    switch between batch and sparse for the alternating daemon — in both
+    trace modes.
+    """
+    graph = ring_graph(n)
+    protocol = PROTOCOL_FACTORIES[protocol_name](graph)
+    daemon_factory = DENSE_DAEMON_FACTORIES[daemon_name]
+    initial = protocol.random_configuration(random.Random(seed))
+    executions = []
+    for engine, trace in (
+        ("reference", "full"),
+        ("incremental", "full"),
+        ("incremental", "light"),
+    ):
+        simulator = Simulator(
+            protocol,
+            daemon_factory(),
+            rng=random.Random(seed + 1),
+            engine=engine,
+            trace=trace,
+        )
+        executions.append(simulator.run(initial, max_steps=steps))
+    reference, incremental, light = executions
+    for other in (incremental, light):
+        assert other.steps == reference.steps
+        assert other.truncated == reference.truncated
+        assert list(other.configurations) == list(reference.configurations)
+        assert [other.enabled_at(i) for i in range(other.steps)] == [
+            reference.enabled_at(i) for i in range(reference.steps)
+        ]
+        assert _normalized_records(other) == _normalized_records(reference)
 
 
 @settings(max_examples=15, deadline=None)

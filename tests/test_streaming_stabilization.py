@@ -1,0 +1,250 @@
+"""The streaming measurement pipeline.
+
+Three properties are pinned here:
+
+* **streaming ≡ trace walk** — the online :class:`SafetyMonitor` (riding
+  ``stop_when``) reports exactly the stabilization indices that the classic
+  post-hoc trace walk computes, for every protocol of the library, several
+  daemons and both trace modes (and the one-pass multi-spec walker agrees
+  with the per-spec walks);
+* **light-trace memory bound** — a full safety scan of a light execution
+  retains only O(steps / checkpoint-stride) configurations, it does not
+  silently materialize the whole trace (the bug this PR fixes);
+* **knob threading** — the Definition 4 speculation helpers forward
+  ``engine``/``check_liveness``/``trace`` to the underlying measurement.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import BfsSpanningTree, BfsTreeSpec, MaximalMatching, MaximalMatchingSpec
+from repro.core import (
+    CentralDaemon,
+    DistributedDaemon,
+    LazyConfigurationTrace,
+    SafetyMonitor,
+    Simulator,
+    SynchronousDaemon,
+    measure_speculation,
+    measure_stabilization,
+    observed_stabilization_index,
+    observed_stabilization_indices,
+)
+from repro.exceptions import SimulationError
+from repro.graphs import random_connected_graph, ring_graph
+from repro.mutex import SSME, DijkstraTokenRing, MutualExclusionSpec
+from repro.unison import AsynchronousUnison, AsynchronousUnisonSpec
+
+
+def _protocol_and_specs(name):
+    graph = ring_graph(6)
+    if name == "ssme":
+        protocol = SSME(graph)
+        return protocol, [MutualExclusionSpec(protocol), AsynchronousUnisonSpec(protocol)]
+    if name == "unison":
+        protocol = AsynchronousUnison(graph)
+        return protocol, [AsynchronousUnisonSpec(protocol)]
+    if name == "dijkstra":
+        protocol = DijkstraTokenRing(graph)
+        return protocol, [MutualExclusionSpec(protocol)]
+    if name == "bfs":
+        protocol = BfsSpanningTree(random_connected_graph(6, 0.4, random.Random(5)))
+        return protocol, [BfsTreeSpec(protocol)]
+    if name == "matching":
+        protocol = MaximalMatching(random_connected_graph(6, 0.4, random.Random(5)))
+        return protocol, [MaximalMatchingSpec(protocol)]
+    raise AssertionError(name)
+
+
+PROTOCOL_NAMES = ("ssme", "unison", "dijkstra", "bfs", "matching")
+
+DAEMONS = {
+    "sd": SynchronousDaemon,
+    "cd": CentralDaemon,
+    "dd": lambda: DistributedDaemon(0.6),
+}
+
+
+class TestStreamingEqualsTraceWalk:
+    @pytest.mark.parametrize("protocol_name", PROTOCOL_NAMES)
+    @pytest.mark.parametrize("daemon_name", sorted(DAEMONS))
+    @pytest.mark.parametrize("trace", ["full", "light"])
+    def test_monitor_matches_post_hoc_walk(self, protocol_name, daemon_name, trace):
+        protocol, specs = _protocol_and_specs(protocol_name)
+        initial = protocol.random_configuration(random.Random(7))
+        steps = 60
+
+        # Plain run -> classic post-hoc walks.
+        plain = Simulator(
+            protocol, DAEMONS[daemon_name](), rng=random.Random(11), trace=trace
+        ).run(initial, max_steps=steps)
+        walked = [observed_stabilization_index(plain, spec, protocol) for spec in specs]
+
+        # Identical run observed online by the monitor.
+        monitor = SafetyMonitor(specs, protocol)
+        monitored = Simulator(
+            protocol, DAEMONS[daemon_name](), rng=random.Random(11), trace=trace
+        ).run(initial, max_steps=steps, stop_when=monitor.observe)
+
+        assert monitored.steps == plain.steps
+        assert monitor.observed_steps == plain.steps
+        for spec, expected in zip(specs, walked):
+            assert monitor.stabilization_index(spec) == expected
+            assert monitor.last_unsafe_index(spec) == spec.last_unsafe_index(
+                plain, protocol
+            )
+            assert monitor.first_unsafe_index(spec) == spec.first_unsafe_index(
+                plain, protocol
+            )
+
+        # The one-pass multi-spec walker agrees with the per-spec walks.
+        assert observed_stabilization_indices(plain, specs, protocol) == walked
+
+    def test_monitor_rejects_gapped_observations(self):
+        protocol, specs = _protocol_and_specs("unison")
+        monitor = SafetyMonitor(specs, protocol)
+        configuration = protocol.default_configuration()
+        assert monitor.observe(configuration, 0) is False
+        with pytest.raises(SimulationError):
+            monitor.observe(configuration, 2)
+        monitor.reset()
+        assert monitor.observe(configuration, 0) is False
+
+    def test_monitor_requires_a_specification(self):
+        protocol, _ = _protocol_and_specs("unison")
+        with pytest.raises(SimulationError):
+            SafetyMonitor([], protocol)
+
+    def test_wrapped_stop_when_sees_recorded_observation(self):
+        """The wrapped predicate runs after the observation, so it can stop
+        on the monitored verdict of the configuration under decision."""
+        protocol, specs = _protocol_and_specs("unison")
+        spec = specs[0]
+        initial = protocol.random_configuration(random.Random(3))
+        monitor = SafetyMonitor(
+            [spec], protocol, stop_when=lambda c, i: monitor.is_currently_safe(spec)
+        )
+        execution = Simulator(
+            protocol, SynchronousDaemon(), rng=random.Random(0), trace="light"
+        ).run(initial, max_steps=500, stop_when=monitor.observe)
+        # Stopped exactly at the first safe configuration.
+        assert spec.is_safe(execution.final, protocol)
+        if execution.steps:
+            assert monitor.last_unsafe_index(spec) == execution.steps - 1
+
+
+class TestMeasureStabilizationStreaming:
+    @pytest.mark.parametrize("trace", ["full", "light"])
+    def test_measure_matches_classic_walk(self, trace):
+        protocol = SSME(ring_graph(6))
+        spec = MutualExclusionSpec(protocol)
+        initial = protocol.random_configuration(random.Random(1))
+        measurement = measure_stabilization(
+            protocol=protocol,
+            daemon=SynchronousDaemon(),
+            initial=initial,
+            specification=spec,
+            horizon=protocol.K + 4 * protocol.alpha + 16,
+            rng=random.Random(2),
+            check_liveness=True,
+            trace=trace,
+        )
+        execution = Simulator(
+            protocol, SynchronousDaemon(), rng=random.Random(2)
+        ).run(initial, max_steps=protocol.K + 4 * protocol.alpha + 16)
+        assert measurement.stabilization_steps == observed_stabilization_index(
+            execution, spec, protocol
+        )
+        assert measurement.execution_steps == execution.steps
+        assert measurement.rounds == execution.count_rounds()
+        assert measurement.liveness_checked
+        assert measurement.liveness_ok
+
+
+class TestLightTraceMemoryBound:
+    def test_full_safety_scan_keeps_cache_bounded(self):
+        """A 10k-step light execution scanned end to end for safety retains
+        O(steps/stride) configurations, not one per step."""
+        steps = 10_000
+        protocol = AsynchronousUnison(ring_graph(4), validate_parameters=False)
+        spec = AsynchronousUnisonSpec(protocol)
+        initial = protocol.random_configuration(random.Random(0))
+        execution = Simulator(
+            protocol, SynchronousDaemon(), rng=random.Random(1), trace="light"
+        ).run(initial, max_steps=steps)
+        assert execution.steps == steps
+        trace = execution._configurations
+        assert isinstance(trace, LazyConfigurationTrace)
+
+        spec.last_unsafe_index(execution, protocol)
+        spec.first_unsafe_index(execution, protocol)
+        observed_stabilization_indices(execution, [spec], protocol)
+
+        bound = steps // LazyConfigurationTrace._CHECKPOINT_STRIDE + 2
+        assert trace.materialized_count <= bound
+
+    def test_iter_from_matches_indexed_access(self):
+        protocol = AsynchronousUnison(ring_graph(5), validate_parameters=False)
+        initial = protocol.random_configuration(random.Random(4))
+        light = Simulator(
+            protocol, CentralDaemon(), rng=random.Random(5), trace="light"
+        ).run(initial, max_steps=90)
+        full = Simulator(
+            protocol, CentralDaemon(), rng=random.Random(5), trace="full"
+        ).run(initial, max_steps=90)
+        for start in (0, 1, 33, light.steps):
+            assert list(light.iter_configurations(start)) == list(
+                full.configurations
+            )[start:]
+        with pytest.raises(SimulationError):
+            light.iter_configurations(light.steps + 1)
+
+
+class TestSpeculationKnobThreading:
+    def test_engine_liveness_and_trace_reach_measurements(self):
+        protocol = DijkstraTokenRing.on_ring(5)
+        spec = MutualExclusionSpec(protocol)
+        configurations = [protocol.random_configuration(random.Random(9))]
+        measurement = measure_speculation(
+            protocol=protocol,
+            specification=spec,
+            strong_daemon_factory=CentralDaemon,
+            weak_daemon_factory=SynchronousDaemon,
+            initial_configurations=configurations,
+            strong_horizon=400,
+            weak_horizon=80,
+            rng=random.Random(0),
+            check_liveness=True,
+            engine="reference",
+            trace="light",
+        )
+        for profile in (measurement.strong, measurement.weak):
+            assert profile.worst_case.all_stabilized
+            # check_liveness reached worst_case_stabilization: the liveness
+            # verdict was actually computed for every stabilized run.
+            for m in profile.worst_case.measurements:
+                assert m.liveness_checked
+                assert m.liveness_ok is not None
+
+    def test_reference_oracle_agrees_with_incremental(self):
+        protocol = DijkstraTokenRing.on_ring(6)
+        spec = MutualExclusionSpec(protocol)
+        configurations = [protocol.random_configuration(random.Random(2))]
+        results = {}
+        for engine in ("incremental", "reference"):
+            study = measure_speculation(
+                protocol=protocol,
+                specification=spec,
+                strong_daemon_factory=CentralDaemon,
+                weak_daemon_factory=SynchronousDaemon,
+                initial_configurations=configurations,
+                strong_horizon=400,
+                weak_horizon=80,
+                rng=random.Random(3),
+                engine=engine,
+            )
+            results[engine] = (study.strong.max_steps, study.weak.max_steps)
+        assert results["incremental"] == results["reference"]
