@@ -1,9 +1,9 @@
-"""Engine-scaling benchmark: steps/sec, old (reference) vs. new (incremental).
+"""Engine-scaling benchmark: steps/sec across engine backends.
 
 Measures the simulation step throughput of the reference full-rescan engine
-against the incremental dirty-set engine (in both trace modes) across ring
-sizes and daemons, and writes a JSON summary so the performance trajectory
-is tracked across PRs.
+against the incremental dirty-set engine (both trace modes) and the
+NumPy-vectorized array-state kernel across ring sizes and daemons, and
+writes a JSON summary so the performance trajectory is tracked across PRs.
 
 Not collected by pytest (``bench_*`` prefix); run it directly::
 
@@ -11,18 +11,31 @@ Not collected by pytest (``bench_*`` prefix); run it directly::
     PYTHONPATH=src python benchmarks/bench_engine_scaling.py --quick
     PYTHONPATH=src python benchmarks/bench_engine_scaling.py --json BENCH_engine.json
 
-Both engines measure the **same trajectory**: identical initial
+Every engine measures the **same trajectory**: identical initial
 configuration, seed and step budget (earlier revisions gave the incremental
 engine a 4x budget, which made it time a different — more expensive,
-post-stabilization — phase of the run than the reference did).
+post-stabilization — phase of the run than the reference did).  Rows report
+the **median** over ``--repeats`` timed runs (recorded per row), so the
+report-only CI speedup checks are less sensitive to scheduler noise than
+the best-of-two they replaced.
 
-Two headline numbers (acceptance criteria of the engine PRs) on
-``ring_graph(200)``:
+Headline numbers (acceptance criteria of the engine PRs):
 
-* central daemon (``cd``): incremental must deliver >= 10x the reference
-  engine's steps/sec (PR 1, dirty-set engine);
-* synchronous daemon (``sd``): >= 5x, up from ~1x before the batched
-  in-place view refresh (PR 2).
+* ``headline`` — central daemon (``cd``) on ``ring_graph(200)``:
+  incremental >= 10x reference steps/sec (PR 1, dirty-set engine);
+* ``headline_sd`` — synchronous daemon (``sd``) on ``ring_graph(200)``:
+  incremental >= 5x (PR 2, batched in-place view refresh);
+* ``headline_sd_vector`` — synchronous daemon on ``ring_graph(800)``
+  (largest measured size under ``--quick``): vector kernel >= 15x the
+  reference engine (PR 3, array-state kernel).
+
+The dense regime is also swept at ``n ∈ {3200, 10000}`` (sd only, without
+the reference engine, whose full rescan takes minutes there) to track how
+the vector kernel scales toward the north-star topology sizes.  Those rows
+start from the **legitimate** configuration — their step budget is far
+below the ~n synchronous steps a random initial needs to stabilize at
+these sizes, so a random start would measure the reset churn rather than
+the steady state; each row records which ``initial`` it timed.
 """
 
 from __future__ import annotations
@@ -31,21 +44,27 @@ import argparse
 import json
 import platform
 import random
+import statistics
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import (
     CentralDaemon,
     DistributedDaemon,
     Simulator,
     SynchronousDaemon,
+    numpy_available,
 )
 from repro.graphs import ring_graph
 from repro.unison import AsynchronousUnison
 
 DEFAULT_SIZES = (50, 200, 800)
 QUICK_SIZES = (50, 200)
+
+#: Dense-regime scaling sizes: sd only, no reference baseline (its full
+#: rescan is O(minutes) per run at these sizes).
+LARGE_SIZES = (3200, 10000)
 
 DAEMON_FACTORIES = {
     "cd": CentralDaemon,
@@ -57,6 +76,15 @@ ENGINE_MODES = (
     ("reference", "full"),
     ("incremental", "full"),
     ("incremental", "light"),
+    ("vector", "full"),
+    ("vector", "light"),
+)
+
+#: Modes measured at the LARGE_SIZES rows.
+LARGE_ENGINE_MODES = (
+    ("incremental", "light"),
+    ("vector", "full"),
+    ("vector", "light"),
 )
 
 
@@ -66,12 +94,14 @@ def _steps_for(n: int) -> int:
     Identical for every engine: speedups are only meaningful when both
     engines simulate the same execution prefix (a shorter budget would
     keep the reference engine inside the cheap convergence phase while the
-    incremental engine times the expensive stabilized phase).  The budget
-    comfortably covers stabilization of the unison on a ring, so most of
-    the window measures the steady state — the regime the synchronous
-    daemon's batch fast path is built for.
+    incremental engine times the expensive stabilized phase).  Up to
+    n=200 the budget covers stabilization of the unison on a ring, so most
+    of the window measures the steady state; at larger sizes the window is
+    an (engine-identical) mix of convergence and steady state from a
+    random initial — the dedicated LARGE_SIZES rows start from the
+    legitimate configuration to time the pure steady state instead.
     """
-    return max(400, 480_000 // n)
+    return max(120, 480_000 // n)
 
 
 def _measure(
@@ -82,9 +112,14 @@ def _measure(
     steps: int,
     seed: int,
     repeats: int,
+    initial_kind: str = "random",
 ) -> Dict[str, object]:
-    initial = protocol.random_configuration(random.Random(seed))
-    best = 0.0
+    if initial_kind == "legitimate":
+        initial = protocol.legitimate_configuration(0)
+    else:
+        initial = protocol.random_configuration(random.Random(seed))
+    rates: List[float] = []
+    resolved = engine
     for _ in range(repeats):
         simulator = Simulator(
             protocol,
@@ -93,49 +128,87 @@ def _measure(
             engine=engine,
             trace=trace,
         )
+        resolved = simulator.engine
         start = time.perf_counter()
         execution = simulator.run(initial, max_steps=steps)
         elapsed = time.perf_counter() - start
         if execution.steps == 0:
             raise RuntimeError("benchmark run performed no steps")
-        best = max(best, execution.steps / elapsed)
+        rates.append(execution.steps / elapsed)
     return {
         "n": protocol.graph.n,
         "daemon": daemon_name,
         "engine": engine,
+        "resolved_engine": resolved,
         "trace": trace,
         "steps": steps,
-        "steps_per_sec": round(best, 1),
+        "repeats": repeats,
+        "initial": initial_kind,
+        "steps_per_sec": round(statistics.median(rates), 1),
     }
 
 
 def run_benchmark(
     sizes: Sequence[int] = DEFAULT_SIZES,
     daemons: Sequence[str] = tuple(DAEMON_FACTORIES),
+    large_sizes: Sequence[int] = LARGE_SIZES,
     seed: int = 0,
-    repeats: int = 2,
+    repeats: int = 3,
 ) -> Dict[str, object]:
     """Run the full sweep and return the JSON-ready summary."""
+    have_numpy = numpy_available()
+    engine_modes: Tuple[Tuple[str, str], ...] = tuple(
+        (engine, trace)
+        for engine, trace in ENGINE_MODES
+        if have_numpy or engine != "vector"
+    )
     rows: List[Dict[str, object]] = []
+
+    def measure_into_rows(protocol, daemon_name, engine, trace, steps, initial_kind="random"):
+        row = _measure(
+            protocol,
+            daemon_name,
+            engine,
+            trace,
+            steps=steps,
+            seed=seed,
+            repeats=repeats,
+            initial_kind=initial_kind,
+        )
+        rows.append(row)
+        print(
+            f"ring({row['n']:>5})  {row['daemon']:<3} "
+            f"{row['engine']:<11} trace={row['trace']:<5} "
+            f"{row['steps_per_sec']:>12,.1f} steps/s  (median of {repeats})"
+        )
+
     for n in sizes:
-        protocol = AsynchronousUnison(ring_graph(n))
+        # alpha=n, K=n+1 (the defaults) are always valid; the exact hole/cyclo
+        # validation is skipped because it does not scale to the n>=3200 rows.
+        protocol = AsynchronousUnison(ring_graph(n), validate_parameters=False)
         for daemon_name in daemons:
-            for engine, trace in ENGINE_MODES:
-                row = _measure(
-                    protocol,
-                    daemon_name,
-                    engine,
-                    trace,
-                    steps=_steps_for(n),
-                    seed=seed,
-                    repeats=repeats,
-                )
-                rows.append(row)
-                print(
-                    f"ring({row['n']:>4})  {row['daemon']:<3} "
-                    f"{row['engine']:<11} trace={row['trace']:<5} "
-                    f"{row['steps_per_sec']:>12,.1f} steps/s"
-                )
+            for engine, trace in engine_modes:
+                measure_into_rows(protocol, daemon_name, engine, trace, _steps_for(n))
+
+    # Dense-regime scaling rows: the reference engine is deliberately
+    # skipped (minutes per run), so these rows have no speedup entry —
+    # they track absolute steps/sec of the fast backends only.  The run
+    # starts from the legitimate configuration: at these sizes the step
+    # budget is far below the ~alpha = n steps a random initial needs to
+    # stabilize, so a random start would time the reset/converge churn
+    # instead of the steady state these rows exist to track (the n <= 800
+    # rows keep the random initial — their budget covers stabilization,
+    # so they measure the same mixed trajectory as the speedup headlines).
+    for n in large_sizes:
+        # alpha=n, K=n+1 (the defaults) are always valid; the exact hole/cyclo
+        # validation is skipped because it does not scale to the n>=3200 rows.
+        protocol = AsynchronousUnison(ring_graph(n), validate_parameters=False)
+        for engine, trace in LARGE_ENGINE_MODES:
+            if engine == "vector" and not have_numpy:
+                continue
+            measure_into_rows(
+                protocol, "sd", engine, trace, _steps_for(n), initial_kind="legitimate"
+            )
 
     def throughput(n: int, daemon: str, engine: str, trace: str) -> Optional[float]:
         for row in rows:
@@ -154,7 +227,7 @@ def run_benchmark(
             base = throughput(n, daemon_name, "reference", "full")
             if not base:
                 continue
-            for engine, trace in ENGINE_MODES[1:]:
+            for engine, trace in engine_modes[1:]:
                 new = throughput(n, daemon_name, engine, trace)
                 if new:
                     speedups.append(
@@ -167,35 +240,46 @@ def run_benchmark(
                         }
                     )
 
-    def make_headline(daemon: str, target: float) -> Dict[str, object]:
-        base = throughput(200, daemon, "reference", "full")
-        full = throughput(200, daemon, "incremental", "full")
-        light = throughput(200, daemon, "incremental", "light")
+    def make_headline(daemon: str, engine: str, n: int, target: float) -> Dict[str, object]:
+        base = throughput(n, daemon, "reference", "full")
+        full = throughput(n, daemon, engine, "full")
+        light = throughput(n, daemon, engine, "light")
         if not (base and full and light):
             return {}
         return {
             "daemon": daemon,
-            "n": 200,
+            "n": n,
+            "engine": engine,
             "reference_steps_per_sec": base,
-            "incremental_full_speedup": round(full / base, 2),
-            "incremental_light_speedup": round(light / base, 2),
+            f"{engine}_full_speedup": round(full / base, 2),
+            f"{engine}_light_speedup": round(light / base, 2),
             "target": target,
             "meets_target": max(full, light) / base >= target,
         }
 
-    headline = make_headline("cd", 10.0) if 200 in sizes and "cd" in daemons else {}
-    headline_sd = make_headline("sd", 5.0) if 200 in sizes and "sd" in daemons else {}
+    headline = make_headline("cd", "incremental", 200, 10.0) if 200 in sizes and "cd" in daemons else {}
+    headline_sd = make_headline("sd", "incremental", 200, 5.0) if 200 in sizes and "sd" in daemons else {}
+    # The vector headline prefers the acceptance size n=800; under --quick
+    # it degrades to the largest measured size so CI still gets a signal.
+    vector_n = 800 if 800 in sizes else max(sizes)
+    headline_sd_vector = (
+        make_headline("sd", "vector", vector_n, 15.0)
+        if have_numpy and "sd" in daemons
+        else {}
+    )
 
     return {
         "benchmark": "engine_scaling",
         "topology": "ring",
         "protocol": "AsynchronousUnison",
         "python": platform.python_version(),
+        "numpy": have_numpy,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "rows": rows,
         "speedups": speedups,
         "headline": headline,
         "headline_sd": headline_sd,
+        "headline_sd_vector": headline_sd_vector,
     }
 
 
@@ -210,25 +294,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="skip the n=800 sweep (useful on slow machines / CI)",
+        help="skip the n=800 and dense-regime (n>=3200) sweeps (CI)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed runs per row; the row reports their median (default: 3)",
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
     sizes = QUICK_SIZES if args.quick else DEFAULT_SIZES
-    summary = run_benchmark(sizes=sizes, seed=args.seed)
+    large_sizes: Sequence[int] = () if args.quick else LARGE_SIZES
+    summary = run_benchmark(
+        sizes=sizes, large_sizes=large_sizes, seed=args.seed, repeats=args.repeats
+    )
     with open(args.json, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2)
         handle.write("\n")
     print(f"\nwrote {args.json}")
     status = 0
-    for key, label in (("headline", "cd"), ("headline_sd", "sd")):
+    for key, label in (
+        ("headline", "cd/incremental"),
+        ("headline_sd", "sd/incremental"),
+        ("headline_sd_vector", "sd/vector"),
+    ):
         head = summary.get(key)
         if not head:
             continue
+        engine = head["engine"]
         print(
-            f"headline: {label}/ring(200) speedup full={head['incremental_full_speedup']}x "
-            f"light={head['incremental_light_speedup']}x "
+            f"{key}: {label}/ring({head['n']}) speedup "
+            f"full={head[f'{engine}_full_speedup']}x "
+            f"light={head[f'{engine}_light_speedup']}x "
             f"(target >= {head['target']}x: {'PASS' if head['meets_target'] else 'FAIL'})"
         )
         if not head["meets_target"]:

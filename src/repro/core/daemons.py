@@ -62,6 +62,14 @@ class Daemon(ABC):
     #: Short human-readable name ("sd", "cd", ...), set by subclasses.
     name: str = "daemon"
 
+    #: Backend-selection hint: True when the daemon's typical selection
+    #: activates a constant fraction of the enabled set (the synchronous
+    #: daemon, dense distributed daemons).  The engine's automatic backend
+    #: selection runs such daemons on the vectorized array-state kernel
+    #: when the protocol declares one; sparse daemons keep the dirty-set
+    #: paths.  Purely advisory — every backend is correct for every daemon.
+    dense: bool = False
+
     def __init__(self) -> None:
         self._protocol: Optional[Protocol] = None
         self._sorted_vertices: Optional[List[VertexId]] = None
@@ -175,6 +183,7 @@ class SynchronousDaemon(Daemon):
     """The synchronous daemon ``sd``: every enabled vertex is activated."""
 
     name = "sd"
+    dense = True
 
     def select(
         self,
@@ -290,6 +299,9 @@ class DistributedDaemon(Daemon):
                 f"activation probability must be in (0, 1], got {activation_probability}"
             )
         self._p = activation_probability
+        # Expected selections cover at least half the enabled set: the
+        # dense regime the vector backend is built for.
+        self.dense = activation_probability >= 0.5
 
     def select(
         self,
@@ -431,6 +443,7 @@ class StarvationDaemon(Daemon):
     """
 
     name = "ud-starve"
+    dense = True  # every enabled vertex but the target fires each step
 
     def __init__(self, target: Optional[VertexId] = None) -> None:
         super().__init__()

@@ -75,9 +75,28 @@ class IncrementalEngine:
 
     The engine is stateless between runs (all per-run state lives in local
     variables), so one instance can be cached per simulator and reused.
+
+    Backend selection: the dict-based sparse/batch paths below are always
+    available; protocols that declare an array codec/kernel (see
+    :mod:`repro.core.vector`) additionally unlock a NumPy-vectorized
+    **array-state backend** that replaces the whole per-step scan of the
+    dense (batch) regime with a handful of array operations.  ``run``'s
+    ``backend`` parameter picks between them — ``"auto"`` (default) uses
+    the vector backend exactly when the protocol declares one, NumPy is
+    importable and the daemon advertises dense selections
+    (:attr:`Daemon.dense`); ``"vector"`` requests it for any daemon; both
+    degrade gracefully to the dict paths when the capability is missing,
+    so NumPy stays an optional dependency.
     """
 
-    __slots__ = ("_protocol", "_graph", "_vertices", "_neighbors")
+    __slots__ = (
+        "_protocol",
+        "_graph",
+        "_vertices",
+        "_neighbors",
+        "_vector",
+        "last_run_backend",
+    )
 
     #: Refresh-mode switch: when ``len(changes) * _BATCH_DENSITY >= n`` the
     #: dirty set ``C ∪ neig(C)`` covers (essentially) the whole graph, so the
@@ -94,6 +113,31 @@ class IncrementalEngine:
         self._neighbors: Dict[VertexId, Tuple[VertexId, ...]] = {
             v: tuple(self._graph.neighbors(v)) for v in self._vertices
         }
+        self._vector = None
+        #: Which backend the most recent ``run`` used ("vector" or "dict");
+        #: None before the first run.  Diagnostic only.
+        self.last_run_backend: Optional[str] = None
+
+    def _vector_engine(self):
+        """The cached array-state backend, or None when unavailable.
+
+        Probed lazily (and re-probed while unavailable, so an environment
+        that gains NumPy mid-process is picked up; a cached engine is never
+        dropped — the capability cannot un-declare itself).  The probed
+        codec/kernel objects are handed straight to the engine, so the
+        capability is instantiated exactly once.
+        """
+        if self._vector is None:
+            from .vector import VectorEngine, vector_eligible
+
+            if vector_eligible(self._protocol):
+                codec = self._protocol.array_codec()
+                kernel = self._protocol.array_kernel()
+                if codec is not None and kernel is not None:
+                    self._vector = VectorEngine(
+                        self._protocol, codec=codec, kernel=kernel
+                    )
+        return self._vector
 
     def run(
         self,
@@ -103,6 +147,7 @@ class IncrementalEngine:
         max_steps: int,
         stop_when: Optional[Callable[[Configuration, int], bool]] = None,
         trace: str = "full",
+        backend: str = "auto",
     ) -> Execution:
         """Run up to ``max_steps`` actions from ``initial``.
 
@@ -118,9 +163,34 @@ class IncrementalEngine:
         actions are pure functions of the view); a hook mutating
         ``view.neighbor_states`` would corrupt the cache, and one stashing a
         view would observe it silently change under later actions.
+
+        ``backend`` selects between the dict-based sparse/batch paths
+        (``"dict"``) and the NumPy array-state kernel (``"vector"``);
+        ``"auto"`` (default) picks the vector backend for dense daemons
+        when the protocol declares one.  Requests the capability cannot
+        honour (no kernel, no NumPy, states outside the codec's layout)
+        fall back to the dict paths — never an error.
         """
         if trace not in {"full", "light"}:
             raise SimulationError(f"unknown trace mode {trace!r}")
+        if backend not in {"auto", "dict", "vector"}:
+            raise SimulationError(f"unknown engine backend {backend!r}")
+        if backend != "dict":
+            vector = self._vector_engine()
+            if vector is not None and (backend == "vector" or daemon.dense):
+                encoded = vector.encode_initial(initial)
+                if encoded is not None:
+                    self.last_run_backend = "vector"
+                    return vector.run(
+                        daemon=daemon,
+                        rng=rng,
+                        initial=initial,
+                        max_steps=max_steps,
+                        stop_when=stop_when,
+                        trace=trace,
+                        initial_array=encoded,
+                    )
+        self.last_run_backend = "dict"
         if set(initial) != set(self._vertices):
             raise SimulationError(
                 "initial configuration is not over the protocol's vertex set"

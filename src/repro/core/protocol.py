@@ -166,6 +166,34 @@ class Protocol(ABC):
         return self.random_state(vertex, random.Random(0))
 
     # ------------------------------------------------------------------ #
+    # Array-state capability (the vectorized engine backend)
+    # ------------------------------------------------------------------ #
+    def array_codec(self):
+        """The protocol's :class:`~repro.core.vector.ArrayCodec`, or None.
+
+        Protocols whose per-vertex state is a fixed small tuple of machine
+        integers may return a codec here (together with
+        :meth:`array_kernel`) to unlock the NumPy-vectorized engine backend
+        for the dense-daemon regime.  The default — no capability — keeps
+        the protocol on the dict-based engines; NumPy remains an optional
+        dependency either way.
+        """
+        return None
+
+    def array_kernel(self):
+        """The protocol's :class:`~repro.core.vector.ArrayKernel`, or None.
+
+        Must encode *exactly* the stock transition semantics over the
+        :meth:`array_codec` representation (first-enabled-rule arbitration
+        included); see :func:`repro.core.vector.protocol_supports_vector`
+        for the full eligibility contract.  Implementations may assume
+        NumPy is importable — the capability is only queried after that
+        check — but must return None themselves when it is not, so direct
+        callers degrade cleanly too.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
     # Configurations
     # ------------------------------------------------------------------ #
     def configuration(self, assignment: Mapping[VertexId, VertexStateLike]) -> Configuration:

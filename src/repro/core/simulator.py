@@ -23,7 +23,7 @@ from .state import Configuration
 __all__ = ["StepResult", "Simulator"]
 
 #: Engine selection values accepted by :class:`Simulator`.
-ENGINES = ("incremental", "reference")
+ENGINES = ("auto", "incremental", "vector", "reference")
 
 #: Trace modes accepted by :class:`Simulator` (see docs/engine.md).
 TRACE_MODES = ("full", "light")
@@ -69,14 +69,19 @@ class Simulator:
         Source of randomness for the daemon (and nothing else).  Passing a
         seeded ``random.Random`` makes runs reproducible.
     engine:
-        ``"incremental"`` (default) runs the dirty-set engine of
-        :mod:`repro.core.engine`: after each action only the changed
-        vertices and their neighbours are re-evaluated, guards run once per
-        vertex per step, and configurations are materialized only for the
-        trace.  ``"reference"`` runs the naive full-rescan semantics and
-        serves as the correctness oracle.  Protocols that override the
-        base-class transition methods automatically fall back to the
-        reference engine.
+        ``"auto"`` (default) picks the fastest sound backend for the
+        (protocol, daemon) pair: the NumPy-vectorized array-state kernel
+        (:mod:`repro.core.vector`) when the protocol declares one, NumPy is
+        importable and the daemon makes dense selections
+        (:attr:`Daemon.dense`); the dirty-set incremental engine otherwise.
+        ``"incremental"`` forces the dict-based dirty-set engine of
+        :mod:`repro.core.engine`; ``"vector"`` requests the array-state
+        kernel for any daemon (falling back to ``"incremental"`` when the
+        capability is unavailable — NumPy stays optional).
+        ``"reference"`` runs the naive full-rescan semantics and serves as
+        the correctness oracle.  Protocols that override the base-class
+        transition methods automatically fall back to the reference
+        engine.  The resolved choice is reported by :attr:`engine`.
     trace:
         ``"full"`` (default) records every configuration in the returned
         :class:`Execution`.  ``"light"`` records activations only and
@@ -104,7 +109,7 @@ class Simulator:
         protocol: Protocol,
         daemon: Daemon,
         rng: Optional[random.Random] = None,
-        engine: str = "incremental",
+        engine: str = "auto",
         trace: str = "full",
     ) -> None:
         if engine not in ENGINES:
@@ -124,11 +129,29 @@ class Simulator:
         # threading either (their ``apply`` may predate the ``prepared``
         # keyword and their enabledness chain must be honoured).
         self._prepared_ok = protocol_supports_incremental(protocol)
-        if engine == "incremental" and not self._prepared_ok:
+        # Backend resolution (graceful, never an error): the array-state
+        # kernel needs the protocol capability *and* NumPy; "auto"
+        # additionally requires the daemon to make dense selections — the
+        # regime where whole-array steps beat the dirty-set paths.  The
+        # probe constructs the incremental engine (which runs would build
+        # anyway) so the kernel it instantiates is the one that runs.
+        self._incremental: Optional[IncrementalEngine] = None
+        if engine in ("auto", "vector"):
+            if engine == "auto" and not daemon.dense:
+                engine = "incremental"
+            elif not self._prepared_ok:
+                engine = "reference"
+            else:
+                self._incremental = IncrementalEngine(protocol)
+                engine = (
+                    "vector"
+                    if self._incremental._vector_engine() is not None
+                    else "incremental"
+                )
+        if engine in ("incremental", "vector") and not self._prepared_ok:
             engine = "reference"
         self._engine = engine
         self._trace = trace
-        self._incremental: Optional[IncrementalEngine] = None
 
     @property
     def protocol(self) -> Protocol:
@@ -142,8 +165,19 @@ class Simulator:
 
     @property
     def engine(self) -> str:
-        """The active engine ("incremental" or "reference")."""
+        """The resolved engine ("vector", "incremental" or "reference")."""
         return self._engine
+
+    @property
+    def last_run_backend(self) -> Optional[str]:
+        """Which backend the most recent :meth:`run` actually used
+        ("vector" or "dict"; None before any run or under the reference
+        engine).  Diagnostic: the vector backend may decline a particular
+        initial configuration (states outside the codec's integer layout)
+        and fall back to the dict paths mid-selection."""
+        if self._incremental is None:
+            return None
+        return self._incremental.last_run_backend
 
     @property
     def trace(self) -> str:
@@ -212,7 +246,7 @@ class Simulator:
                 f"unknown trace mode {trace!r}; known: {', '.join(TRACE_MODES)}"
             )
         self._daemon.reset()
-        if self._engine == "incremental":
+        if self._engine in ("incremental", "vector"):
             if self._incremental is None:
                 self._incremental = IncrementalEngine(self._protocol)
             return self._incremental.run(
@@ -222,6 +256,7 @@ class Simulator:
                 max_steps=max_steps,
                 stop_when=stop_when,
                 trace=trace,
+                backend="vector" if self._engine == "vector" else "dict",
             )
         return self._run_reference(initial, max_steps, stop_when, trace)
 
@@ -293,13 +328,34 @@ class Simulator:
             truncated=truncated,
         )
 
-    def run_until_terminal(self, initial: Configuration, max_steps: int) -> Execution:
+    def run_until_terminal(
+        self,
+        initial: Configuration,
+        max_steps: int,
+        stop_when: Optional[Callable[[Configuration, int], bool]] = None,
+        trace: Optional[str] = "light",
+    ) -> Execution:
         """Run until a terminal configuration; raise if the budget is hit.
 
         Only meaningful for *silent* protocols (BFS tree, matching) that are
         guaranteed to terminate; unison/SSME never terminate.
+
+        ``stop_when`` and ``trace`` are threaded through to :meth:`run`
+        (they used to be silently dropped).  ``trace`` defaults to
+        ``"light"`` — terminal-seeking callers typically only inspect the
+        final configuration, and a light trace reconstructs anything else
+        on demand; pass ``trace="full"`` to keep per-step snapshots, or
+        ``trace=None`` to defer to the simulator's configured mode (the
+        same ``None`` semantics as :meth:`run`).  A ``stop_when`` that
+        fires before a terminal configuration truncates the run, which
+        therefore raises like an exhausted budget.
         """
-        execution = self.run(initial, max_steps)
+        execution = self.run(
+            initial,
+            max_steps,
+            stop_when=stop_when,
+            trace=trace,
+        )
         if not execution.is_terminal:
             raise SimulationError(
                 f"no terminal configuration reached within {max_steps} steps"

@@ -195,7 +195,7 @@ def measure_speculation(
     strong_runs_per_configuration: int = 1,
     weak_runs_per_configuration: int = 1,
     check_liveness: bool = False,
-    engine: str = "incremental",
+    engine: str = "auto",
     trace: str = "full",
 ) -> SpeculationMeasurement:
     """Measure one protocol instance under a strong and a weak daemon.
@@ -256,7 +256,7 @@ def run_speculation_study(
     strong_runs_per_configuration: int = 1,
     weak_runs_per_configuration: int = 1,
     check_liveness: bool = False,
-    engine: str = "incremental",
+    engine: str = "auto",
     trace: str = "full",
 ) -> SpeculationStudy:
     """Run a Definition 4 study over a family of graphs.

@@ -297,7 +297,7 @@ def measure_stabilization(
     horizon: int,
     rng: Optional[random.Random] = None,
     check_liveness: bool = False,
-    engine: str = "incremental",
+    engine: str = "auto",
     trace: str = "full",
 ) -> StabilizationMeasurement:
     """Run one execution and measure its observed stabilization time.
@@ -316,8 +316,10 @@ def measure_stabilization(
         When True, the specification's liveness condition is evaluated on
         the suffix starting at the observed stabilization point.
     engine:
-        Simulation engine ("incremental" by default; "reference" replays
-        the naive semantics, useful to cross-check a measurement).
+        Simulation engine ("auto" by default — the vectorized array-state
+        backend for dense daemons when the protocol declares one, the
+        incremental dirty-set engine otherwise; "reference" replays the
+        naive semantics, useful to cross-check a measurement).
     trace:
         Trace mode of the underlying run.  With ``"light"`` the safety
         monitor reads live views and no configuration is materialized by
@@ -354,7 +356,7 @@ def worst_case_stabilization(
     rng: Optional[random.Random] = None,
     check_liveness: bool = False,
     runs_per_configuration: int = 1,
-    engine: str = "incremental",
+    engine: str = "auto",
     trace: str = "full",
 ) -> WorstCaseStabilization:
     """Maximize the observed stabilization time over configurations and seeds.

@@ -1,0 +1,621 @@
+"""The NumPy-vectorized array-state engine backend (the "vector kernel").
+
+The incremental engine of :mod:`repro.core.engine` wins big in the sparse
+regime (central-style daemons: O(Δ) per action), but in the *dense* regime —
+the synchronous daemon, dense distributed daemons — every action dirties
+essentially every vertex, so each step still pays n Python guard calls plus
+n Python firing calls.  That per-step cost is exactly what the paper's
+headline experiments (Theorem 2 synchronous sweeps, Theorem 3 adversarial
+sweeps) are bound by at scale.
+
+This module replaces the whole per-step scan by a handful of array
+operations for protocols whose per-vertex state is a fixed small tuple of
+machine integers (unison clocks, Dijkstra/SSME token counters):
+
+* :class:`GraphIndex` — the communication graph flattened once into
+  CSR-style neighbour index arrays (``indptr``/``indices``/``edge_src``);
+* :class:`ArrayCodec` — encodes a configuration into an ``(n, k)`` int64
+  array and decodes rows back into exact Python states
+  (:class:`IntCodec` for plain-int states, :class:`IntTupleCodec` for
+  fixed-width int tuples);
+* :class:`ArrayKernel` — the protocol-declared vectorized transition
+  relation: ``enabled_rules(states, index)`` returns, per vertex, the
+  position of its *first* enabled rule (or -1), and
+  ``fire(states, selected, rule_ids, index)`` returns the new state rows of
+  the selected vertices — both as whole-array computations;
+* :class:`VectorEngine` — a drop-in runner with the exact
+  ``IncrementalEngine.run`` contract built on the above.
+
+Protocols opt in through the capability API
+:meth:`repro.core.Protocol.array_codec` / :meth:`~repro.core.Protocol.array_kernel`
+(both return None by default).  Backend selection is automatic and degrades
+gracefully: the vector backend is used only when the protocol declares a
+kernel, NumPy is importable (it stays an **optional** dependency — nothing
+in this module imports it at module load), and the engine semantics the
+kernel encodes (stock transition chain, stock ``choose_rule``, actions that
+preserve state validity) actually hold; otherwise the existing sparse/batch
+dict paths run unchanged.
+
+Equivalence with the reference engine (same configurations, selections,
+enabled sets, activation records, truncation) is pinned by
+``tests/test_engine_equivalence.py`` and ``tests/test_vector_kernel.py``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..exceptions import SimulationError
+from ..graphs import Graph
+from ..types import VertexId, VertexStateLike
+from .daemons import Daemon
+from .execution import Execution, LazyActivations
+from .protocol import ActivationRecord, Protocol
+from .rules import Rule
+from .state import Configuration
+
+__all__ = [
+    "ArrayCodec",
+    "ArrayKernel",
+    "ArrayStateView",
+    "GraphIndex",
+    "IntCodec",
+    "IntTupleCodec",
+    "VectorEngine",
+    "numpy_available",
+    "protocol_supports_vector",
+    "vector_eligible",
+]
+
+
+def numpy_available() -> bool:
+    """Whether NumPy can be imported *right now*.
+
+    Evaluated dynamically on every call (a successful import of an
+    already-loaded module is a dict lookup) so test harnesses can prove the
+    graceful degradation path by stubbing ``sys.modules["numpy"]``.
+    """
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def vector_eligible(protocol: Protocol) -> bool:
+    """The cheap (non-instantiating) half of the vector-backend contract.
+
+    True when the *semantics* the kernel encodes hold and NumPy is
+    importable:
+
+    * NumPy importable (optional dependency — this is checked first so
+      capability hooks may assume it when called);
+    * the stock transition semantics (same precondition as the incremental
+      engine — the kernel replaces the whole guard/firing chain);
+    * the stock ``choose_rule`` (the kernel hard-codes the
+      first-enabled-rule arbitration the base class implements);
+    * firing re-validation impossible or waived
+      (``actions_preserve_validity`` or a stock ``validate_state``) — the
+      vector firing path does not call back into Python per vertex.
+
+    Says nothing about the protocol actually *declaring* the capability;
+    callers that need the codec/kernel probe them directly afterwards (so
+    the objects are built once and used, never built-and-discarded).
+    """
+    if not numpy_available():
+        return False
+    if not protocol.has_stock_transitions():
+        return False
+    if type(protocol).choose_rule is not Protocol.choose_rule:
+        return False
+    return (
+        protocol.actions_preserve_validity
+        or type(protocol).validate_state is Protocol.validate_state
+    )
+
+
+def protocol_supports_vector(protocol: Protocol) -> bool:
+    """Whether ``protocol`` can run on the vectorized array-state backend.
+
+    :func:`vector_eligible` plus the protocol actually declaring both an
+    :meth:`~repro.core.Protocol.array_codec` and an
+    :meth:`~repro.core.Protocol.array_kernel`.  Probing instantiates (and
+    discards) the capability objects — engine code paths use
+    :func:`vector_eligible` + a direct probe instead, keeping exactly one
+    construction per engine.
+    """
+    return (
+        vector_eligible(protocol)
+        and protocol.array_codec() is not None
+        and protocol.array_kernel() is not None
+    )
+
+
+class GraphIndex:
+    """CSR-style integer indexing of a (fixed) communication graph.
+
+    Attributes
+    ----------
+    vertices:
+        Row position -> vertex id (same order as ``graph.vertices``).
+    position:
+        Vertex id -> row position.
+    indptr, indices:
+        Classic CSR adjacency: the neighbours of row ``i`` are
+        ``indices[indptr[i]:indptr[i+1]]`` (row positions, not ids).
+    edge_src:
+        Row position of the *owning* vertex for every directed adjacency
+        entry, aligned with ``indices`` — ``(edge_src[e], indices[e])``
+        enumerates every (vertex, neighbour) pair once per direction.
+    """
+
+    __slots__ = ("vertices", "position", "n", "indptr", "indices", "edge_src")
+
+    def __init__(self, graph: Graph) -> None:
+        import numpy as np
+
+        self.vertices: Tuple[VertexId, ...] = tuple(graph.vertices)
+        self.position: Dict[VertexId, int] = {
+            v: i for i, v in enumerate(self.vertices)
+        }
+        n = self.n = len(self.vertices)
+        degrees = [0] * n
+        columns: List[int] = []
+        for i, v in enumerate(self.vertices):
+            neighbors = [self.position[u] for u in graph.neighbors(v)]
+            degrees[i] = len(neighbors)
+            columns.extend(neighbors)
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.asarray(degrees, dtype=np.int64), out=self.indptr[1:])
+        self.indices = np.asarray(columns, dtype=np.int64)
+        self.edge_src = np.repeat(
+            np.arange(n, dtype=np.int64), np.asarray(degrees, dtype=np.int64)
+        )
+
+    # Per-vertex reductions over incident adjacency entries.  ``edge_flags``
+    # is a boolean array aligned with ``indices``/``edge_src``; vertices
+    # without neighbours reduce over the empty set (any -> False,
+    # all -> True), matching Python's any()/all().
+    def any_over_edges(self, edge_flags) -> "object":
+        """Per-vertex ``any`` of a per-adjacency-entry boolean array."""
+        import numpy as np
+
+        return np.bincount(self.edge_src[edge_flags], minlength=self.n) > 0
+
+    def all_over_edges(self, edge_flags) -> "object":
+        """Per-vertex ``all`` of a per-adjacency-entry boolean array."""
+        import numpy as np
+
+        return np.bincount(self.edge_src[~edge_flags], minlength=self.n) == 0
+
+
+class ArrayCodec(ABC):
+    """Fixed-width integer encoding of per-vertex states.
+
+    A protocol whose local state is (isomorphic to) a tuple of ``width``
+    machine integers declares a codec; the vector engine keeps the whole
+    configuration as one ``(n, width)`` int64 array.  ``decode`` must invert
+    ``encode`` *exactly* — the states it returns are compared (and recorded
+    in traces) against the Python engines' states.
+    """
+
+    #: Number of int64 columns per vertex.
+    width: int = 1
+
+    @abstractmethod
+    def encode(self, states: Mapping[VertexId, VertexStateLike], order: Sequence[VertexId]):
+        """``(len(order), width)`` int64 array of ``states`` in ``order``.
+
+        Raises ``TypeError``/``ValueError``/``OverflowError`` when a state
+        does not fit the fixed-width integer layout; the engine treats that
+        as "this configuration cannot run vectorized" and falls back.
+        """
+
+    @abstractmethod
+    def decode(self, rows) -> List[VertexStateLike]:
+        """Exact Python states of an ``(m, width)`` array of rows."""
+
+
+class IntCodec(ArrayCodec):
+    """Codec for protocols whose state is a plain Python ``int``."""
+
+    width = 1
+
+    def encode(self, states, order):
+        import numpy as np
+
+        array = np.empty((len(order), 1), dtype=np.int64)
+        column = array[:, 0]
+        for i, vertex in enumerate(order):
+            state = states[vertex]
+            if not isinstance(state, int) or isinstance(state, bool):
+                raise TypeError(f"state {state!r} of {vertex!r} is not a plain int")
+            column[i] = state
+        return array
+
+    def decode(self, rows):
+        return rows[:, 0].tolist()
+
+
+class IntTupleCodec(ArrayCodec):
+    """Codec for states that are fixed-width tuples of ints."""
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise SimulationError("IntTupleCodec width must be >= 1")
+        self.width = width
+
+    def encode(self, states, order):
+        import numpy as np
+
+        array = np.empty((len(order), self.width), dtype=np.int64)
+        for i, vertex in enumerate(order):
+            state = states[vertex]
+            if not isinstance(state, tuple) or len(state) != self.width:
+                raise TypeError(
+                    f"state {state!r} of {vertex!r} is not a {self.width}-int tuple"
+                )
+            array[i] = state
+        return array
+
+    def decode(self, rows):
+        return [tuple(row) for row in rows.tolist()]
+
+
+class ArrayKernel(ABC):
+    """A protocol's vectorized transition relation.
+
+    The kernel must implement *exactly* the semantics of the stock engine
+    chain on the declared codec's representation:
+
+    * ``enabled_rules`` returns, for every vertex, the position (in
+      :attr:`rule_names` order — which must equal ``protocol.rules()``
+      order) of its **first** enabled rule, or ``-1`` when disabled.  This
+      bakes in the base-class ``choose_rule`` (first enabled rule), which
+      is why :func:`protocol_supports_vector` rejects overrides.
+    * ``fire`` evaluates the actions of ``rule_ids`` for the ``selected``
+      row positions against the *current* ``states`` (atomic-snapshot
+      semantics: the engine writes the returned rows back only after the
+      call) and returns the ``(len(selected), width)`` new rows.
+
+    Both receive the full ``(n, width)`` state array and the shared
+    :class:`GraphIndex`; :meth:`prepare` is called once per engine so
+    kernels can precompute index arrays (e.g. Dijkstra's predecessor map).
+    """
+
+    #: Rule names in ``protocol.rules()`` order; rule ids index this tuple.
+    rule_names: Tuple[str, ...] = ()
+
+    def prepare(self, index: GraphIndex) -> None:
+        """One-time hook to precompute kernel-specific index arrays."""
+
+    @abstractmethod
+    def enabled_rules(self, states, index: GraphIndex):
+        """``(n,)`` int array: first enabled rule id per vertex, -1 if none."""
+
+    @abstractmethod
+    def fire(self, states, selected, rule_ids, index: GraphIndex):
+        """``(len(selected), width)`` new state rows for ``selected``."""
+
+
+class ArrayStateView(Mapping[VertexId, VertexStateLike]):
+    """A read-only *live* Mapping view of the vector engine's state array.
+
+    The exact analogue of :class:`repro.core.ConfigurationView` for the
+    array backend: daemons and ``stop_when`` predicates receive it in
+    light-trace mode.  Reads decode through the codec, so callers observe
+    ordinary Python states; like every live view it must not be retained
+    across steps (call :meth:`snapshot` to pin the current states) and is
+    deliberately unhashable.
+    """
+
+    __slots__ = ("_index", "_states", "_codec")
+
+    def __init__(self, index: GraphIndex, states, codec: ArrayCodec) -> None:
+        self._index = index
+        self._states = states
+        self._codec = codec
+
+    def __getitem__(self, vertex: VertexId) -> VertexStateLike:
+        try:
+            row = self._index.position[vertex]
+        except KeyError:
+            raise SimulationError(
+                f"configuration has no state for vertex {vertex!r}"
+            ) from None
+        return self._codec.decode(self._states[row : row + 1])[0]
+
+    def __iter__(self) -> Iterator[VertexId]:
+        return iter(self._index.vertices)
+
+    def __len__(self) -> int:
+        return self._index.n
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._index.position
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    # Live views change under the caller's feet; hashing one would be a
+    # correctness trap (same contract as ConfigurationView).
+    __hash__ = None  # type: ignore[assignment]
+
+    def as_dict(self) -> Dict[VertexId, VertexStateLike]:
+        """A mutable copy of the current states."""
+        return dict(
+            zip(self._index.vertices, self._codec.decode(self._states))
+        )
+
+    def snapshot(self) -> Configuration:
+        """Pin the current states as an immutable :class:`Configuration`."""
+        return Configuration._from_trusted_dict(self.as_dict())
+
+    def updated(self, changes: Mapping[VertexId, VertexStateLike]) -> Configuration:
+        """An immutable configuration: current states with ``changes`` applied."""
+        states = self.as_dict()
+        for vertex in changes:
+            if vertex not in states:
+                raise SimulationError(f"cannot update unknown vertex {vertex!r}")
+        states.update(changes)
+        return Configuration._from_trusted_dict(states)
+
+    def restrict(self, vertices: Iterable[VertexId]) -> Configuration:
+        """The (immutable) restriction of the current states to ``vertices``."""
+        return self.snapshot().restrict(vertices)
+
+    def differing_vertices(self, other: Configuration) -> Tuple[VertexId, ...]:
+        """Vertices whose current states differ from ``other``'s."""
+        return self.snapshot().differing_vertices(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ArrayStateView(n={self._index.n})"
+
+
+class _VectorAction(Sequence):
+    """One action's raw firing log, decoded from arrays on demand.
+
+    Behaves as the sequence of raw ``(vertex, rule_name, old, new)`` tuples
+    :class:`~repro.core.LazyActivations` consumes, but stores only the four
+    compact arrays the engine already produced.  ``len`` never decodes, so
+    aggregate walks (``moves()``) stay array-cheap; iterating decodes the
+    whole action in bulk (four ``tolist`` calls), which only happens when a
+    caller actually inspects that action's records.
+    """
+
+    __slots__ = ("_selected", "_rule_ids", "_old", "_new", "_vertices", "_names", "_codec")
+
+    def __init__(self, selected, rule_ids, old, new, vertices, names, codec) -> None:
+        self._selected = selected
+        self._rule_ids = rule_ids
+        self._old = old
+        self._new = new
+        self._vertices = vertices
+        self._names = names
+        self._codec = codec
+
+    def __len__(self) -> int:
+        return int(self._selected.size)
+
+    def _decoded(self) -> List[tuple]:
+        return list(
+            zip(
+                map(self._vertices.__getitem__, self._selected.tolist()),
+                map(self._names.__getitem__, self._rule_ids.tolist()),
+                self._codec.decode(self._old),
+                self._codec.decode(self._new),
+            )
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._decoded())
+
+    def __getitem__(self, position):
+        return self._decoded()[position]
+
+
+class VectorEngine:
+    """Array-state runner with the :class:`IncrementalEngine` run contract.
+
+    One instance per protocol; stateless between runs.  Each step is a
+    constant number of whole-array operations: guard evaluation through the
+    protocol's :class:`ArrayKernel`, firing through vectorized actions, and
+    O(Δ)-in-C bookkeeping for the trace.  The enabled frozenset is rebuilt
+    only when the enabled *membership* actually changed (in the dense
+    steady state — unison under the synchronous daemon — it never does).
+    """
+
+    __slots__ = ("_protocol", "_index", "_codec", "_kernel")
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        codec: Optional[ArrayCodec] = None,
+        kernel: Optional[ArrayKernel] = None,
+    ) -> None:
+        """``codec``/``kernel`` let the caller hand over already-probed
+        capability objects instead of having them instantiated twice."""
+        self._protocol = protocol
+        codec = codec if codec is not None else protocol.array_codec()
+        kernel = kernel if kernel is not None else protocol.array_kernel()
+        if codec is None or kernel is None:
+            raise SimulationError(
+                f"protocol {protocol.name!r} declares no array codec/kernel"
+            )
+        names = tuple(rule.name for rule in protocol.rules())
+        if tuple(kernel.rule_names) != names:
+            raise SimulationError(
+                f"array kernel rule names {tuple(kernel.rule_names)!r} do not "
+                f"match protocol rules {names!r}"
+            )
+        self._index = GraphIndex(protocol.graph)
+        self._codec = codec
+        self._kernel = kernel
+        kernel.prepare(self._index)
+
+    def encode_initial(self, initial: Configuration):
+        """``initial`` as an ``(n, width)`` array, or None when it does not
+        fit the codec's fixed-width integer layout (the caller then falls
+        back to the dict-based paths)."""
+        if set(initial) != set(self._index.vertices):
+            raise SimulationError(
+                "initial configuration is not over the protocol's vertex set"
+            )
+        try:
+            return self._codec.encode(initial, self._index.vertices)
+        except (TypeError, ValueError, OverflowError):
+            return None
+
+    def run(
+        self,
+        daemon: Daemon,
+        rng,
+        initial: Configuration,
+        max_steps: int,
+        stop_when: Optional[Callable[[Configuration, int], bool]] = None,
+        trace: str = "full",
+        initial_array=None,
+    ) -> Execution:
+        """Run up to ``max_steps`` actions from ``initial``.
+
+        Same contract (and same observable executions) as
+        ``IncrementalEngine.run``; ``initial_array`` lets the caller pass a
+        pre-encoded state array so backend selection can probe the codec
+        without encoding twice.
+        """
+        import numpy as np
+
+        if trace not in {"full", "light"}:
+            raise SimulationError(f"unknown trace mode {trace!r}")
+        states = initial_array if initial_array is not None else self.encode_initial(initial)
+        if states is None:
+            raise SimulationError(
+                "initial configuration does not fit the protocol's array codec"
+            )
+        index = self._index
+        codec = self._codec
+        kernel = self._kernel
+        vertices = index.vertices
+        rule_name_list = kernel.rule_names
+
+        light = trace == "light"
+        live_view = ArrayStateView(index, states, codec) if light else None
+        configurations: List[Configuration] = [initial]
+        selections: List[FrozenSet[VertexId]] = []
+        actions: List[_VectorAction] = []
+        enabled_sets: List[FrozenSet[VertexId]] = []
+        deltas: List[Dict[VertexId, VertexStateLike]] = []
+        truncated = True
+
+        current = initial
+        rule_ids = kernel.enabled_rules(states, index)
+        mask_cached = None
+        enabled_fs: FrozenSet[VertexId] = frozenset()
+        enabled_pos = None
+        for step_index in range(max_steps + 1):
+            mask = rule_ids != -1
+            if mask_cached is None or not np.array_equal(mask, mask_cached):
+                mask_cached = mask
+                enabled_pos = np.flatnonzero(mask)
+                if enabled_pos.size == index.n:
+                    enabled_fs = frozenset(vertices)
+                else:
+                    enabled_fs = frozenset(
+                        map(vertices.__getitem__, enabled_pos.tolist())
+                    )
+            enabled_sets.append(enabled_fs)
+            observed = live_view if light else current
+            if stop_when is not None and stop_when(observed, step_index):
+                truncated = True
+                break
+            if not enabled_fs:
+                truncated = False
+                break
+            if step_index == max_steps:
+                truncated = True
+                break
+            selection = daemon.checked_select(enabled_fs, observed, step_index, rng)
+
+            # A selection the size of the enabled set *is* the enabled set
+            # (checked_select guarantees selection ⊆ enabled), so the dense
+            # fast path reuses the cached position array.
+            if len(selection) == len(enabled_fs):
+                selected = enabled_pos
+            else:
+                position = index.position
+                selected = np.fromiter(
+                    (position[v] for v in selection),
+                    dtype=np.int64,
+                    count=len(selection),
+                )
+            rids = rule_ids[selected]
+            old_rows = states[selected]  # fancy indexing copies: the atomic snapshot
+            new_rows = kernel.fire(states, selected, rids, index)
+            changed_rows = np.any(new_rows != old_rows, axis=1)
+            any_change = bool(changed_rows.any())
+            if any_change:
+                states[selected] = new_rows
+
+            selections.append(selection)
+            actions.append(
+                _VectorAction(
+                    selected, rids, old_rows, new_rows, vertices, rule_name_list, codec
+                )
+            )
+            if light:
+                if any_change:
+                    if bool(changed_rows.all()):
+                        changed, changed_new = selected, new_rows
+                    else:
+                        changed = selected[changed_rows]
+                        changed_new = new_rows[changed_rows]
+                    deltas.append(
+                        dict(
+                            zip(
+                                map(vertices.__getitem__, changed.tolist()),
+                                codec.decode(changed_new),
+                            )
+                        )
+                    )
+                else:
+                    deltas.append({})
+            else:
+                if any_change:
+                    current = Configuration._from_trusted_dict(
+                        dict(zip(vertices, codec.decode(states)))
+                    )
+                configurations.append(current)
+            if any_change:
+                rule_ids = kernel.enabled_rules(states, index)
+
+        activations = LazyActivations(actions)
+        if light:
+            return Execution.from_activations(
+                initial=initial,
+                selections=selections,
+                activations=activations,
+                enabled_sets=enabled_sets,
+                truncated=truncated,
+                deltas=deltas,
+            )
+        return Execution(
+            configurations=configurations,
+            selections=selections,
+            activations=activations,
+            enabled_sets=enabled_sets,
+            truncated=truncated,
+        )

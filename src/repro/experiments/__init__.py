@@ -3,6 +3,7 @@
 from .runner import ExperimentReport
 from .workloads import mutex_workload, perturbed_configurations, random_configurations
 from .faults import FAULT_MODELS, apply_fault
+from .parallel import parallel_map
 from . import (
     ablation_privilege_spacing,
     dijkstra_comparison,
@@ -27,6 +28,7 @@ __all__ = [
     "dijkstra_comparison",
     "figure1_clock",
     "mutex_workload",
+    "parallel_map",
     "perturbed_configurations",
     "random_configurations",
     "render_experiments_markdown",

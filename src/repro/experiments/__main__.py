@@ -34,10 +34,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="write the Markdown report (EXPERIMENTS.md format) to PATH",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the theorem2/theorem3 trial sweeps across this many "
+        "processes (results are identical; default: sequential)",
+    )
     args = parser.parse_args(argv)
 
     selected: Optional[List[str]] = list(args.experiments) or None
-    reports = run_all_experiments(only=selected)
+    reports = run_all_experiments(only=selected, workers=args.workers)
     for report in reports:
         print(report.to_text())
         print()

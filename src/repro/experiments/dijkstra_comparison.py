@@ -36,7 +36,7 @@ def run_experiment(
     ring_sizes: Optional[Sequence[int]] = None,
     configurations_per_graph: int = 8,
     seed: int = 0,
-    engine: str = "incremental",
+    engine: str = "auto",
 ) -> ExperimentReport:
     """Head-to-head synchronous stabilization on rings."""
     ring_sizes = list(ring_sizes) if ring_sizes is not None else list(DEFAULT_RING_SIZES)

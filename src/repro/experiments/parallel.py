@@ -1,0 +1,66 @@
+"""Opt-in process-level parallelism for embarrassingly parallel sweeps.
+
+The theorem2/theorem3 drivers maximize over many *independent* trials
+(daemon × initial configuration × seed); each trial is pure CPU work on its
+own protocol instance, so fanning them across processes is safe and — for
+the larger sweeps — near-linear.  This module provides the one primitive
+they need: an order-preserving :func:`parallel_map` that degrades to a
+plain sequential loop when no workers are requested (the default), so the
+sequential and parallel paths execute the *same* task list with the *same*
+precomputed seeds and produce identical reports.
+
+Design constraints baked into the helper:
+
+* **Tasks are plain picklable tuples** and workers are **module-level
+  functions** — protocol objects hold closures (rule lambdas) and must be
+  rebuilt inside the worker from primitive parameters.
+* **Seeds are drawn by the caller before dispatch**, in the exact order the
+  sequential code would draw them, so ``workers=`` never changes results.
+* The ``fork`` start method is preferred when the platform offers it
+  (cheap, inherits ``sys.path``); otherwise the default context is used.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map"]
+
+
+def _pool_context():
+    """The multiprocessing context to run pools under."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def parallel_map(
+    worker: Callable[[T], R],
+    tasks: Sequence[T],
+    workers: Optional[int] = None,
+) -> List[R]:
+    """``[worker(t) for t in tasks]``, optionally fanned across processes.
+
+    ``workers`` of ``None``, ``0`` or ``1`` (the default everywhere) runs
+    the plain sequential loop in-process — no pool, no pickling.  Larger
+    values run a process pool of at most ``min(workers, len(tasks))``
+    processes; results come back in task order, so callers aggregate
+    identically either way.  ``worker`` must be a module-level (picklable)
+    function and every task a picklable value.
+    """
+    tasks = list(tasks)
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if not workers or workers == 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)), mp_context=_pool_context()
+    ) as pool:
+        return list(pool.map(worker, tasks))

@@ -7,6 +7,7 @@ stored as ``EXPERIMENTS.md`` at the repository root.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List, Optional, Sequence
 
 from . import (
@@ -37,13 +38,22 @@ EXPERIMENT_DRIVERS: Dict[str, Callable[[], ExperimentReport]] = {
 
 def run_all_experiments(
     only: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> List[ExperimentReport]:
-    """Run every experiment driver (or the subset named in ``only``)."""
+    """Run every experiment driver (or the subset named in ``only``).
+
+    ``workers`` is forwarded to the drivers that support process-parallel
+    sweeps (theorem2/theorem3); the others ignore it.  Reported numbers
+    are identical for any value.
+    """
     selected = list(only) if only is not None else list(EXPERIMENT_DRIVERS)
     reports = []
     for experiment_id in selected:
         driver = EXPERIMENT_DRIVERS[experiment_id]
-        reports.append(driver())
+        kwargs = {}
+        if workers and "workers" in inspect.signature(driver).parameters:
+            kwargs["workers"] = workers
+        reports.append(driver(**kwargs))
     return reports
 
 

@@ -11,6 +11,12 @@ facts are checked:
 * **tightness** — on every graph with ``diam >= 1`` the adversarial
   workload (built from the Theorem 4 splicing construction) actually
   reaches the bound, i.e. the measured worst case equals ``⌈diam/2⌉``.
+
+The sweep is embarrassingly parallel: every (graph, initial configuration)
+trial is independent, so the driver builds one task list — with all seeds
+pre-drawn in the sequential order — and executes it through
+:func:`repro.experiments.parallel.parallel_map`.  ``workers=`` (opt-in)
+fans the trials across processes; results are identical either way.
 """
 
 from __future__ import annotations
@@ -18,9 +24,14 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import SynchronousDaemon, worst_case_stabilization
-from ..graphs import diameter, make_topology
+from ..core import (
+    SynchronousDaemon,
+    WorstCaseStabilization,
+    measure_stabilization,
+)
+from ..graphs import make_topology
 from ..mutex import SSME, MutualExclusionSpec
+from .parallel import parallel_map
 from .runner import ExperimentReport
 from .workloads import mutex_workload
 
@@ -45,59 +56,133 @@ DEFAULT_SWEEP: Tuple[Tuple[str, int], ...] = (
 )
 
 
+def _sync_horizon(protocol: SSME) -> int:
+    # Horizon: reaching Γ₁ takes at most alpha + lcp + diam <= 3n synchronous
+    # steps and passing every privileged value takes at most K + diam more,
+    # so one clock period plus a 4n slack covers the liveness check.
+    return protocol.K + 4 * protocol.alpha + 16
+
+
+def _run_sync_trial(protocol, specification, items, seed, check_liveness, engine):
+    """One (graph, initial configuration) trial against a built protocol."""
+    # Light traces end to end: the safety monitor streams the stabilization
+    # index during the run and the liveness window reconstructs
+    # configurations on demand with bounded retention.
+    return measure_stabilization(
+        protocol=protocol,
+        daemon=SynchronousDaemon(),
+        initial=protocol.configuration(dict(items)),
+        specification=specification,
+        horizon=_sync_horizon(protocol),
+        rng=random.Random(seed),
+        check_liveness=check_liveness,
+        engine=engine,
+        trace="light",
+    )
+
+
+def _measure_sync_trial(task):
+    """Picklable process worker wrapping :func:`_run_sync_trial`.
+
+    The protocol is rebuilt from primitive parameters inside the worker
+    (protocol objects hold rule closures and cannot cross process
+    boundaries); the task seed was pre-drawn by the driver in sequential
+    order, so results do not depend on how trials are scheduled.
+    """
+    topology, size, items, seed, check_liveness, engine = task
+    protocol = SSME(make_topology(topology, size))
+    return _run_sync_trial(
+        protocol, MutualExclusionSpec(protocol), items, seed, check_liveness, engine
+    )
+
+
 def run_experiment(
     sweep: Optional[Sequence[Tuple[str, int]]] = None,
     random_configurations_per_graph: int = 8,
     seed: int = 0,
     check_liveness: bool = True,
-    engine: str = "incremental",
+    engine: str = "auto",
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
-    """Measure SSME's synchronous stabilization across topologies."""
+    """Measure SSME's synchronous stabilization across topologies.
+
+    ``workers`` (opt-in, default sequential) fans the independent trials
+    across that many processes; the report is identical for any value.
+    """
     sweep = list(sweep) if sweep is not None else list(DEFAULT_SWEEP)
     rng = random.Random(seed)
-    rows: List[Dict[str, object]] = []
-    upper_ok = True
-    tight_ok = True
+    graphs: List[Dict[str, object]] = []
+    tasks: List[tuple] = []
     for topology, size in sweep:
         graph = make_topology(topology, size)
         protocol = SSME(graph)
-        specification = MutualExclusionSpec(protocol)
-        bound = protocol.synchronous_stabilization_bound()
         workload = mutex_workload(
             protocol,
             random.Random(rng.randrange(2**63)),
             random_count=random_configurations_per_graph,
         )
-        # Horizon: reaching Γ₁ takes at most alpha + lcp + diam <= 3n synchronous
-        # steps and passing every privileged value takes at most K + diam more,
-        # so one clock period plus a 4n slack covers the liveness check.
-        horizon = protocol.K + 4 * protocol.alpha + 16
-        # Light traces end to end: the safety monitor streams the
-        # stabilization index during the run and the liveness window
-        # reconstructs configurations on demand with bounded retention.
-        result = worst_case_stabilization(
-            protocol=protocol,
-            daemon_factory=SynchronousDaemon,
-            specification=specification,
-            initial_configurations=workload,
-            horizon=horizon,
-            rng=random.Random(rng.randrange(2**63)),
-            check_liveness=check_liveness,
-            engine=engine,
-            trace="light",
-        )
-        measured = result.max_steps
-        row_upper = result.all_stabilized and measured is not None and measured <= bound
-        row_tight = protocol.diam < 1 or measured == bound
-        upper_ok = upper_ok and row_upper
-        tight_ok = tight_ok and row_tight
-        rows.append(
+        trial_rng = random.Random(rng.randrange(2**63))
+        first_task = len(tasks)
+        for initial in workload:
+            tasks.append(
+                (
+                    topology,
+                    size,
+                    tuple(initial.items()),
+                    trial_rng.randrange(2**63),
+                    check_liveness,
+                    engine,
+                )
+            )
+        graphs.append(
             {
                 "topology": topology,
                 "n": graph.n,
                 "diam": protocol.diam,
                 "K": protocol.K,
+                "bound": protocol.synchronous_stabilization_bound(),
                 "configs": len(workload),
+                "tasks": (first_task, len(tasks)),
+                "protocol": protocol,
+            }
+        )
+
+    if workers and workers > 1:
+        measurements = parallel_map(_measure_sync_trial, tasks, workers=workers)
+    else:
+        # Sequential: reuse the protocol (and its diameter computation)
+        # already built per graph instead of rebuilding it per trial.
+        measurements = []
+        for info in graphs:
+            protocol = info["protocol"]
+            specification = MutualExclusionSpec(protocol)
+            first, last = info["tasks"]
+            for _t, _s, items, task_seed, live, task_engine in tasks[first:last]:
+                measurements.append(
+                    _run_sync_trial(
+                        protocol, specification, items, task_seed, live, task_engine
+                    )
+                )
+
+    rows: List[Dict[str, object]] = []
+    upper_ok = True
+    tight_ok = True
+    for info in graphs:
+        first, last = info["tasks"]
+        result = WorstCaseStabilization(measurements[first:last])
+        measured = result.max_steps
+        bound = info["bound"]
+        row_upper = result.all_stabilized and measured is not None and measured <= bound
+        row_tight = info["diam"] < 1 or measured == bound
+        upper_ok = upper_ok and row_upper
+        tight_ok = tight_ok and row_tight
+        rows.append(
+            {
+                "topology": info["topology"],
+                "n": info["n"],
+                "diam": info["diam"],
+                "K": info["K"],
+                "configs": info["configs"],
                 "measured_worst_steps": measured,
                 "bound_ceil_diam_over_2": bound,
                 "within_bound": row_upper,

@@ -12,6 +12,12 @@ which also dominates the unfair-daemon stabilization time of the protocol —
 and the measured values are reported next to the bound so the (large) slack
 of the ``O(diam·n³)`` analysis is visible, as well as next to the
 synchronous bound to show the speculation gap.
+
+Every (daemon × initial × run) trial is independent, so the driver builds
+one task list with all seeds pre-drawn in the sequential draw order and
+executes it through :func:`repro.experiments.parallel.parallel_map`;
+``workers=`` (opt-in) fans the trials across processes without changing
+any reported number.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from ..core import (
 from ..graphs import make_topology
 from ..mutex import SSME, MutualExclusionSpec
 from ..unison import AsynchronousUnisonSpec
+from .parallel import parallel_map
 from .runner import ExperimentReport
 from .workloads import mutex_workload
 
@@ -56,6 +63,77 @@ DEFAULT_DAEMON_FACTORIES: Tuple[Tuple[str, Callable[[], Daemon]], ...] = (
     ("cd", CentralDaemon),
 )
 
+_DEFAULT_FACTORY_MAP: Dict[str, Callable[[], Daemon]] = dict(DEFAULT_DAEMON_FACTORIES)
+
+
+def _unfair_horizon(protocol: SSME) -> int:
+    # Central-style daemons advance one vertex per step, so converging to
+    # Γ₁ needs on the order of n·(alpha + diam) steps; keep a generous
+    # horizon while staying far below the (cubic) theoretical bound.
+    bound = protocol.unfair_stabilization_bound()
+    return min(bound, 40 * protocol.graph.n * (protocol.alpha + protocol.diam) + 200)
+
+
+def _run_unfair_trial(
+    protocol: SSME,
+    mutex_specification: MutualExclusionSpec,
+    unison_specification: AsynchronousUnisonSpec,
+    daemon: Daemon,
+    items: tuple,
+    seed: int,
+    engine: str,
+) -> Tuple[Optional[int], Optional[int]]:
+    """One (daemon, initial, seed) trial: ``(unison_steps, mutex_steps)``."""
+    simulator = Simulator(
+        protocol,
+        daemon,
+        rng=random.Random(seed),
+        engine=engine,
+        trace="light",
+    )
+    # Both specifications are monitored online in one pass (no post-hoc
+    # trace walks).  Γ₁ is closed under every daemon (closure of spec_AU)
+    # and Theorem 1 shows no spec_ME violation can occur from a Γ₁
+    # configuration, so the run can stop as soon as Γ₁ is reached — and Γ₁
+    # membership *is* spec_AU safety, which the monitor has just evaluated
+    # for the configuration under decision.
+    monitor = SafetyMonitor(
+        (unison_specification, mutex_specification),
+        protocol,
+        stop_when=lambda config, index: monitor.is_currently_safe(
+            unison_specification
+        ),
+    )
+    simulator.run(
+        protocol.configuration(dict(items)),
+        max_steps=_unfair_horizon(protocol),
+        stop_when=monitor.observe,
+    )
+    return (
+        monitor.stabilization_index(unison_specification),
+        monitor.stabilization_index(mutex_specification),
+    )
+
+
+def _measure_unfair_trial(task) -> Tuple[Optional[int], Optional[int]]:
+    """Picklable worker: rebuilds protocol (with its specs) and daemon from
+    primitive parameters — neither can cross a process boundary."""
+    topology, size, daemon_name, items, seed, engine = task
+    protocol = SSME(make_topology(topology, size))
+    # The Theorem 3 bound is inherited from the unison's step complexity
+    # (Devismes & Petit), so the underlying spec_AU convergence is the
+    # quantity that actually grows with the graph; spec_ME stabilizes no
+    # later than spec_AU and is reported alongside it.
+    return _run_unfair_trial(
+        protocol,
+        MutualExclusionSpec(protocol),
+        AsynchronousUnisonSpec(protocol),
+        _DEFAULT_FACTORY_MAP[daemon_name](),
+        items,
+        seed,
+        engine,
+    )
+
 
 def run_experiment(
     sweep: Optional[Sequence[Tuple[str, int]]] = None,
@@ -63,101 +141,139 @@ def run_experiment(
     random_configurations_per_graph: int = 3,
     runs_per_configuration: int = 1,
     seed: int = 0,
-    engine: str = "incremental",
+    engine: str = "auto",
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
-    """Measure SSME's stabilization under unfair-style schedulers."""
+    """Measure SSME's stabilization under unfair-style schedulers.
+
+    ``workers`` (opt-in, default sequential) fans the independent trials
+    across that many processes.  Process workers rebuild daemons by name
+    from :data:`DEFAULT_DAEMON_FACTORIES`; when custom ``daemon_factories``
+    are supplied the sweep therefore runs sequentially (factories hold
+    closures and cannot cross process boundaries).  Reported numbers are
+    identical for any ``workers`` value.
+    """
     sweep = list(sweep) if sweep is not None else list(DEFAULT_SWEEP)
     daemon_factories = (
         list(daemon_factories)
         if daemon_factories is not None
         else list(DEFAULT_DAEMON_FACTORIES)
     )
+    default_factories = all(
+        _DEFAULT_FACTORY_MAP.get(name) is factory for name, factory in daemon_factories
+    )
     rng = random.Random(seed)
-    rows: List[Dict[str, object]] = []
-    all_within = True
+    graphs: List[Dict[str, object]] = []
+    tasks: List[tuple] = []
     for topology, size in sweep:
         graph = make_topology(topology, size)
         protocol = SSME(graph)
-        mutex_specification = MutualExclusionSpec(protocol)
-        # The Theorem 3 bound is inherited from the unison's step complexity
-        # (Devismes & Petit), so the underlying spec_AU convergence is the
-        # quantity that actually grows with the graph; spec_ME stabilizes no
-        # later than spec_AU and is reported alongside it.
-        unison_specification = AsynchronousUnisonSpec(protocol)
-        bound = protocol.unfair_stabilization_bound()
-        sync_bound = protocol.synchronous_stabilization_bound()
         workload = mutex_workload(
             protocol,
             random.Random(rng.randrange(2**63)),
             random_count=random_configurations_per_graph,
         )
-        # Central-style daemons advance one vertex per step, so converging to
-        # Γ₁ needs on the order of n·(alpha + diam) steps; keep a generous
-        # horizon while staying far below the (cubic) theoretical bound.
-        horizon = min(bound, 40 * protocol.graph.n * (protocol.alpha + protocol.diam) + 200)
+        first_task = len(tasks)
+        for daemon_name, _factory in daemon_factories:
+            for initial in workload:
+                for _ in range(runs_per_configuration):
+                    tasks.append(
+                        (
+                            topology,
+                            size,
+                            daemon_name,
+                            tuple(initial.items()),
+                            rng.randrange(2**63),
+                            engine,
+                        )
+                    )
+        graphs.append(
+            {
+                "topology": topology,
+                "n": graph.n,
+                "diam": protocol.diam,
+                "bound": protocol.unfair_stabilization_bound(),
+                "sync_bound": protocol.synchronous_stabilization_bound(),
+                "trials_per_daemon": len(workload) * runs_per_configuration,
+                "tasks": (first_task, len(tasks)),
+                "protocol": protocol,
+            }
+        )
+
+    if default_factories and workers and workers > 1:
+        results = parallel_map(_measure_unfair_trial, tasks, workers=workers)
+    else:
+        # Sequential (and custom-factory) path: reuse the protocol and
+        # specification objects already built per graph instead of
+        # rebuilding them per trial.
+        factories = dict(daemon_factories)
+        results = []
+        for info in graphs:
+            protocol = info["protocol"]
+            mutex_specification = MutualExclusionSpec(protocol)
+            unison_specification = AsynchronousUnisonSpec(protocol)
+            first, last = info["tasks"]
+            for _t, _s, daemon_name, items, task_seed, task_engine in tasks[first:last]:
+                results.append(
+                    _run_unfair_trial(
+                        protocol,
+                        mutex_specification,
+                        unison_specification,
+                        factories[daemon_name](),
+                        items,
+                        task_seed,
+                        task_engine,
+                    )
+                )
+
+    rows: List[Dict[str, object]] = []
+    all_within = True
+    for info in graphs:
+        first, last = info["tasks"]
+        per_graph = results[first:last]
+        trials_per_daemon = info["trials_per_daemon"]
+        bound = info["bound"]
         worst_mutex = 0
         worst_unison = 0
         worst_daemon = None
         per_daemon: Dict[str, Optional[int]] = {}
         stabilized_everywhere = True
-        for daemon_name, factory in daemon_factories:
+        for position, (daemon_name, _factory) in enumerate(daemon_factories):
             # None until a run actually stabilized: a daemon whose every
             # run failed must be reported as None, not as an (impossible)
             # instant stabilization at 0.
             daemon_worst_unison: Optional[int] = None
-            for initial in workload:
-                for _ in range(runs_per_configuration):
-                    simulator = Simulator(
-                        protocol,
-                        factory(),
-                        rng=random.Random(rng.randrange(2**63)),
-                        engine=engine,
-                        trace="light",
-                    )
-                    # Both specifications are monitored online in one pass
-                    # (no post-hoc trace walks).  Γ₁ is closed under every
-                    # daemon (closure of spec_AU) and Theorem 1 shows no
-                    # spec_ME violation can occur from a Γ₁ configuration,
-                    # so the run can stop as soon as Γ₁ is reached — and Γ₁
-                    # membership *is* spec_AU safety, which the monitor has
-                    # just evaluated for the configuration under decision.
-                    monitor = SafetyMonitor(
-                        (unison_specification, mutex_specification),
-                        protocol,
-                        stop_when=lambda config, index: monitor.is_currently_safe(
-                            unison_specification
-                        ),
-                    )
-                    simulator.run(initial, max_steps=horizon, stop_when=monitor.observe)
-                    unison_steps = monitor.stabilization_index(unison_specification)
-                    mutex_steps = monitor.stabilization_index(mutex_specification)
-                    if unison_steps is None or mutex_steps is None:
-                        stabilized_everywhere = False
-                        continue
-                    worst_mutex = max(worst_mutex, mutex_steps)
-                    daemon_worst_unison = (
-                        unison_steps
-                        if daemon_worst_unison is None
-                        else max(daemon_worst_unison, unison_steps)
-                    )
-                    if unison_steps >= worst_unison:
-                        worst_unison = unison_steps
-                        worst_daemon = daemon_name
+            block = per_graph[
+                position * trials_per_daemon : (position + 1) * trials_per_daemon
+            ]
+            for unison_steps, mutex_steps in block:
+                if unison_steps is None or mutex_steps is None:
+                    stabilized_everywhere = False
+                    continue
+                worst_mutex = max(worst_mutex, mutex_steps)
+                daemon_worst_unison = (
+                    unison_steps
+                    if daemon_worst_unison is None
+                    else max(daemon_worst_unison, unison_steps)
+                )
+                if unison_steps >= worst_unison:
+                    worst_unison = unison_steps
+                    worst_daemon = daemon_name
             per_daemon[daemon_name] = daemon_worst_unison
         within = (
             stabilized_everywhere and worst_mutex <= bound and worst_unison <= bound
         )
         all_within = all_within and within
         row: Dict[str, object] = {
-            "topology": topology,
-            "n": graph.n,
-            "diam": protocol.diam,
+            "topology": info["topology"],
+            "n": info["n"],
+            "diam": info["diam"],
             "mutex_worst_steps": worst_mutex,
             "unison_worst_steps": worst_unison,
             "worst_daemon": worst_daemon,
             "theorem3_bound": bound,
             "bound_ratio": worst_unison / bound if bound else None,
-            "sync_bound_ceil_diam_over_2": sync_bound,
+            "sync_bound_ceil_diam_over_2": info["sync_bound"],
             "within_bound": within,
         }
         for daemon_name, value in per_daemon.items():

@@ -1,0 +1,60 @@
+"""Vectorized array-state kernel for Dijkstra's K-state token ring.
+
+The single rule ``T`` reads only the ring predecessor's counter, so the
+whole transition relation vectorizes through one precomputed predecessor
+position array: the bottom machine is enabled iff its counter equals its
+predecessor's (and increments modulo K), every other machine iff it
+differs (and copies).  Guard-by-guard equivalence with
+:class:`~repro.mutex.DijkstraTokenRing` is pinned by
+``tests/test_vector_kernel.py``; trace equivalence by the engine
+equivalence suite.
+
+This module imports NumPy at load time and is therefore only imported from
+:meth:`DijkstraTokenRing.array_kernel` after a ``numpy_available`` check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.vector import ArrayKernel, GraphIndex
+
+__all__ = ["DijkstraArrayKernel"]
+
+
+class DijkstraArrayKernel(ArrayKernel):
+    """Array-state transition relation of Dijkstra's token ring."""
+
+    def __init__(self, protocol) -> None:
+        self.rule_names = (protocol.RULE_MOVE,)
+        self._K = protocol.K
+        self._bottom = protocol.bottom
+        self._predecessor_of = {
+            v: protocol.predecessor(v) for v in protocol.graph.vertices
+        }
+        self._pred_pos = None
+        self._bottom_pos = -1
+
+    def prepare(self, index: GraphIndex) -> None:
+        self._pred_pos = np.fromiter(
+            (index.position[self._predecessor_of[v]] for v in index.vertices),
+            dtype=np.int64,
+            count=index.n,
+        )
+        self._bottom_pos = index.position[self._bottom]
+
+    def enabled_rules(self, states, index: GraphIndex):
+        s = states[:, 0]
+        differs = s != s[self._pred_pos]
+        bottom = self._bottom_pos
+        enabled = differs
+        enabled[bottom] = not differs[bottom]
+        return np.where(enabled, 0, np.int64(-1))
+
+    def fire(self, states, selected, rule_ids, index: GraphIndex):
+        s = states[:, 0]
+        new = s[self._pred_pos[selected]]
+        bottom_rows = selected == self._bottom_pos
+        if bottom_rows.any():
+            new = np.where(bottom_rows, (s[selected] + 1) % self._K, new)
+        return new.reshape(-1, 1)

@@ -52,6 +52,12 @@ class DijkstraTokenRing(Protocol, PrivilegeAware):
 
     name = "dijkstra-token-ring"
 
+    #: Both action branches are closed over the counter domain: the bottom
+    #: machine increments modulo K and every other machine copies its
+    #: predecessor's (legal) counter, so engines may skip re-validating
+    #: fired states.
+    actions_preserve_validity = True
+
     RULE_MOVE = "T"
 
     def __init__(
@@ -147,6 +153,24 @@ class DijkstraTokenRing(Protocol, PrivilegeAware):
 
     def rules(self) -> Sequence[Rule]:
         return self._rules
+
+    def array_codec(self):
+        """States are plain counter ints — the trivial width-1 codec."""
+        from ..core.vector import IntCodec, numpy_available
+
+        if not numpy_available():
+            return None
+        return IntCodec()
+
+    def array_kernel(self):
+        """The vectorized predecessor-comparison kernel."""
+        from ..core.vector import numpy_available
+
+        if not numpy_available():
+            return None
+        from .array_kernel import DijkstraArrayKernel
+
+        return DijkstraArrayKernel(self)
 
     def random_state(self, vertex: VertexId, rng: random.Random) -> int:
         return rng.randrange(self._K)

@@ -225,6 +225,24 @@ class AsynchronousUnison(Protocol):
     def rules(self) -> Sequence[Rule]:
         return self._rules
 
+    def array_codec(self):
+        """States are plain clock ints — the trivial width-1 codec."""
+        from ..core.vector import IntCodec, numpy_available
+
+        if not numpy_available():
+            return None
+        return IntCodec()
+
+    def array_kernel(self):
+        """The vectorized NA/CA/RA kernel (SSME inherits it unchanged)."""
+        from ..core.vector import numpy_available
+
+        if not numpy_available():
+            return None
+        from .array_kernel import UnisonArrayKernel
+
+        return UnisonArrayKernel(self)
+
     def random_state(self, vertex: VertexId, rng: random.Random) -> int:
         """An arbitrary clock value — this models a transient fault that can
         corrupt the register to any value of its domain."""

@@ -1,18 +1,25 @@
-"""Property test: the incremental engine is observationally equal to the
-reference engine.
+"""Property test: the incremental AND vector engines are observationally
+equal to the reference engine.
 
 For every protocol of the library, every daemon, random graph shapes and
-seeds, the execution produced by the incremental engine (in both trace
-modes) must match the reference engine's execution action for action:
-same configurations, same daemon selections, same enabled sets, same
-truncation verdict, and the same activation records per action (record
-*order* within one action follows set iteration order and is compared
-order-insensitively).
+seeds, the executions produced by the incremental engine (both trace
+modes) and the vectorized array-state engine (both trace modes; protocols
+without a kernel exercise its graceful fallback) must match the reference
+engine's execution action for action: same configurations, same daemon
+selections, same enabled sets, same truncation verdict, and the same
+activation records per action (record *order* within one action follows
+set iteration order and is compared order-insensitively).
+
+The suite runs identically with and without NumPy installed: when NumPy is
+missing the ``engine="vector"`` runs silently degrade to the incremental
+engine (pinned explicitly by the fallback tests at the bottom), so the
+assertions still compare three observationally equal executions.
 """
 
 from __future__ import annotations
 
 import random
+import sys
 
 import pytest
 from hypothesis import given, settings
@@ -118,16 +125,26 @@ def naive_run(protocol, daemon, rng, initial, max_steps):
     return configurations, selections, enabled_sets
 
 
+#: Engine/trace pairs every equivalence case compares against the first
+#: (reference) entry.  The vector entries degrade to the incremental
+#: engine for protocols without a kernel (or without NumPy) — the runs are
+#: then redundant but the assertions still hold, which is exactly the
+#: graceful-fallback contract.
+EQUIVALENCE_MODES = (
+    ("reference", "full"),
+    ("incremental", "full"),
+    ("incremental", "light"),
+    ("vector", "full"),
+    ("vector", "light"),
+)
+
+
 def assert_equivalent_runs(protocol, daemon_name, seed, steps):
-    """Run reference/full, incremental/full and incremental/light and
-    compare the three executions (plus a hand-rolled naive loop)."""
+    """Run every engine/trace mode and compare the executions against
+    reference/full (plus a hand-rolled naive loop)."""
     initial = protocol.random_configuration(random.Random(seed))
     executions = []
-    for engine, trace in (
-        ("reference", "full"),
-        ("incremental", "full"),
-        ("incremental", "light"),
-    ):
+    for engine, trace in EQUIVALENCE_MODES:
         simulator = Simulator(
             protocol,
             DAEMON_FACTORIES[daemon_name](),
@@ -137,8 +154,8 @@ def assert_equivalent_runs(protocol, daemon_name, seed, steps):
         )
         # The reference engine records full traces regardless of mode.
         executions.append(simulator.run(initial, max_steps=steps))
-    reference, incremental, light = executions
-    for other in (incremental, light):
+    reference = executions[0]
+    for other in executions[1:]:
         assert other.steps == reference.steps
         assert other.truncated == reference.truncated
         assert list(other.configurations) == list(reference.configurations)
@@ -221,11 +238,7 @@ def test_engines_agree_in_batch_refresh_regime(
     daemon_factory = DENSE_DAEMON_FACTORIES[daemon_name]
     initial = protocol.random_configuration(random.Random(seed))
     executions = []
-    for engine, trace in (
-        ("reference", "full"),
-        ("incremental", "full"),
-        ("incremental", "light"),
-    ):
+    for engine, trace in EQUIVALENCE_MODES:
         simulator = Simulator(
             protocol,
             daemon_factory(),
@@ -234,8 +247,8 @@ def test_engines_agree_in_batch_refresh_regime(
             trace=trace,
         )
         executions.append(simulator.run(initial, max_steps=steps))
-    reference, incremental, light = executions
-    for other in (incremental, light):
+    reference = executions[0]
+    for other in executions[1:]:
         assert other.steps == reference.steps
         assert other.truncated == reference.truncated
         assert list(other.configurations) == list(reference.configurations)
@@ -277,11 +290,12 @@ def test_engines_agree_with_stop_when(protocol_name, daemon_name, seed, threshol
         return execution, seen
 
     reference, seen_reference = runner("reference", "full")
-    light, seen_light = runner("incremental", "light")
-    assert seen_light == seen_reference
-    assert light.steps == reference.steps
-    assert light.truncated == reference.truncated
-    assert list(light.configurations) == list(reference.configurations)
+    for engine in ("incremental", "vector"):
+        light, seen_light = runner(engine, "light")
+        assert seen_light == seen_reference
+        assert light.steps == reference.steps
+        assert light.truncated == reference.truncated
+        assert list(light.configurations) == list(reference.configurations)
 
 
 @pytest.mark.parametrize("daemon_name", sorted(DAEMON_FACTORIES))
@@ -291,3 +305,124 @@ def test_engines_agree_until_terminal_on_silent_protocols(daemon_name):
     for factory in (BfsSpanningTree, MaximalMatching):
         protocol = factory(graph)
         assert_equivalent_runs(protocol, daemon_name, seed=11, steps=400)
+
+
+#: Protocols that actually declare an array kernel — the vector-specific
+#: cases below must exercise the real vectorized backend, not its fallback.
+VECTOR_PROTOCOL_FACTORIES = {
+    "ssme": SSME,
+    "unison": lambda graph: AsynchronousUnison(graph, validate_parameters=False),
+    "dijkstra": DijkstraTokenRing,
+}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    protocol_name=st.sampled_from(sorted(VECTOR_PROTOCOL_FACTORIES)),
+    daemon_name=st.sampled_from(sorted(DENSE_DAEMON_FACTORIES)),
+    n=st.integers(16, 40),
+    seed=st.integers(0, 10_000),
+    steps=st.integers(1, 12),
+)
+def test_vector_kernel_agrees_in_dense_regime(protocol_name, daemon_name, n, seed, steps):
+    """Vector ≡ incremental ≡ reference where the array kernel actually runs.
+
+    Rings large enough that dense selections exercise the whole-array step
+    (and, with the alternating daemon, the per-run cached enabled set under
+    membership churn), for every protocol that declares a kernel.  With
+    NumPy installed the runs are asserted to really use the vector backend.
+    """
+    protocol = VECTOR_PROTOCOL_FACTORIES[protocol_name](ring_graph(n))
+    from repro.core import protocol_supports_vector
+
+    simulator = Simulator(
+        protocol,
+        DENSE_DAEMON_FACTORIES[daemon_name](),
+        rng=random.Random(seed + 1),
+        engine="vector",
+    )
+    if protocol_supports_vector(protocol):
+        assert simulator.engine == "vector"
+    assert_equivalent_runs_dense(protocol, daemon_name, seed, steps)
+
+
+def assert_equivalent_runs_dense(protocol, daemon_name, seed, steps):
+    initial = protocol.random_configuration(random.Random(seed))
+    daemon_factory = DENSE_DAEMON_FACTORIES[daemon_name]
+    executions = []
+    for engine, trace in EQUIVALENCE_MODES:
+        simulator = Simulator(
+            protocol,
+            daemon_factory(),
+            rng=random.Random(seed + 1),
+            engine=engine,
+            trace=trace,
+        )
+        executions.append(simulator.run(initial, max_steps=steps))
+    reference = executions[0]
+    for other in executions[1:]:
+        assert other.steps == reference.steps
+        assert other.truncated == reference.truncated
+        assert list(other.configurations) == list(reference.configurations)
+        assert [other.enabled_at(i) for i in range(other.steps)] == [
+            reference.enabled_at(i) for i in range(reference.steps)
+        ]
+        assert _normalized_records(other) == _normalized_records(reference)
+
+
+class TestNoNumpyFallback:
+    """Backend selection must degrade cleanly when NumPy is unavailable.
+
+    The stub poisons ``sys.modules["numpy"]`` (making ``import numpy``
+    raise), which is exactly what ``numpy_available()`` re-checks on every
+    call; the CI job without NumPy installed runs the whole suite in that
+    state for real.
+    """
+
+    def _protocol(self):
+        return AsynchronousUnison(ring_graph(10), validate_parameters=False)
+
+    def test_vector_request_degrades_to_incremental(self, monkeypatch):
+        from repro.core import numpy_available
+
+        protocol = self._protocol()
+        initial = protocol.random_configuration(random.Random(3))
+        reference = Simulator(
+            protocol, SynchronousDaemon(), rng=random.Random(4), engine="reference"
+        ).run(initial, max_steps=25)
+
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        assert not numpy_available()
+        for engine in ("vector", "auto"):
+            simulator = Simulator(
+                protocol, SynchronousDaemon(), rng=random.Random(4), engine=engine
+            )
+            assert simulator.engine == "incremental"
+            execution = simulator.run(initial, max_steps=25)
+            assert simulator.last_run_backend == "dict"
+            assert list(execution.configurations) == list(reference.configurations)
+            assert execution.truncated == reference.truncated
+
+    def test_capability_hooks_return_none_without_numpy(self, monkeypatch):
+        from repro.core import protocol_supports_vector
+
+        protocol = self._protocol()
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        assert protocol.array_codec() is None
+        assert protocol.array_kernel() is None
+        assert not protocol_supports_vector(protocol)
+        dijkstra = DijkstraTokenRing(ring_graph(5))
+        assert dijkstra.array_codec() is None
+        assert dijkstra.array_kernel() is None
+
+    def test_vector_backend_used_when_numpy_present(self):
+        pytest.importorskip("numpy")
+        protocol = self._protocol()
+        initial = protocol.random_configuration(random.Random(3))
+        simulator = Simulator(protocol, SynchronousDaemon(), rng=random.Random(4))
+        assert simulator.engine == "vector"  # auto + dense daemon + kernel
+        simulator.run(initial, max_steps=10)
+        assert simulator.last_run_backend == "vector"
+        # Sparse daemons keep the dirty-set paths under auto selection.
+        sparse = Simulator(protocol, CentralDaemon(), rng=random.Random(4))
+        assert sparse.engine == "incremental"

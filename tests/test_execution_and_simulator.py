@@ -119,6 +119,40 @@ class TestSimulatorRun:
         assert execution.is_terminal
         assert execution.final == {0: 0, 1: 0, 2: 0}
 
+    def test_run_until_terminal_threads_trace(self):
+        """Regression: ``trace=`` used to be silently dropped."""
+        protocol = TokenPassing(path_graph(4))
+        gamma = protocol.configuration({0: 1, 1: 1, 2: 1, 3: 1})
+        simulator = Simulator(protocol, SynchronousDaemon())
+        light = simulator.run_until_terminal(gamma, max_steps=10)  # default light
+        full = simulator.run_until_terminal(gamma, max_steps=10, trace="full")
+        from repro.core import LazyConfigurationTrace
+
+        assert isinstance(light._configurations, LazyConfigurationTrace)
+        assert not isinstance(full._configurations, LazyConfigurationTrace)
+        assert list(light.configurations) == list(full.configurations)
+        assert light.final == full.final
+
+    def test_run_until_terminal_threads_stop_when(self):
+        """Regression: ``stop_when`` used to be silently dropped; a stop
+        before a terminal configuration now truncates (and raises)."""
+        protocol = TokenPassing(path_graph(4))
+        gamma = protocol.configuration({0: 1, 1: 1, 2: 1, 3: 1})
+        simulator = Simulator(protocol, CentralDaemon("first"), rng=random.Random(0))
+        seen = []
+
+        def observe(configuration, index):
+            seen.append(index)
+            return False
+
+        execution = simulator.run_until_terminal(gamma, max_steps=10, stop_when=observe)
+        assert execution.is_terminal
+        assert seen == list(range(execution.steps + 1))
+        with pytest.raises(SimulationError):
+            simulator.run_until_terminal(
+                gamma, max_steps=10, stop_when=lambda config, index: index >= 1
+            )
+
     def test_synchronous_runs_are_deterministic(self, unison_ring):
         gamma = unison_ring.random_configuration(random.Random(5))
         e1 = synchronous_execution(unison_ring, gamma, 30)
