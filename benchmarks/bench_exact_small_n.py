@@ -1,0 +1,21 @@
+"""E8 — regenerate the exact model-checking cross-validation.
+
+Solves the small SSME/Dijkstra/unison instances exactly (state-space game
+solving, no sampling) and pins the sampled theorem2/theorem3-style
+measurements against the certified values; broken protocol variants must
+produce lasso counterexamples.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import exact_small_n
+
+from conftest import run_report_benchmark
+
+
+def test_exact_small_n(benchmark):
+    report = run_report_benchmark(benchmark, exact_small_n.run_experiment)
+    assert report.passed
+    assert report.summary["exact_equals_theorem2_bound_on_every_ring"]
+    assert report.summary["exact_dominates_sampled_everywhere"]
+    assert report.summary["broken_variants_yield_lasso"]

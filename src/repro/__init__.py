@@ -22,6 +22,9 @@ The library provides:
   (:mod:`repro.baselines`);
 * the executable Theorem 4 lower-bound construction
   (:mod:`repro.lowerbound`);
+* an exact explicit-state model checker certifying worst-case stabilization,
+  legitimacy closure and the speculation gap on small instances
+  (:mod:`repro.verify`);
 * measurement, speculation analysis and the experiment harness reproducing
   every quantitative claim of the paper (:mod:`repro.analysis`,
   :mod:`repro.experiments`).
@@ -63,6 +66,11 @@ from .graphs import Graph
 from .mutex import SSME, DijkstraTokenRing, MutualExclusionSpec
 from .unison import AsynchronousUnison, AsynchronousUnisonSpec
 from .baselines import BfsSpanningTree, BfsTreeSpec, MaximalMatching, MaximalMatchingSpec
+from .verify import (
+    exact_speculation_gap,
+    exact_worst_case_stabilization,
+    verify_stabilization,
+)
 from .exceptions import ReproError
 
 __version__ = "1.0.0"
@@ -97,7 +105,10 @@ __all__ = [
     "StarvationDaemon",
     "SynchronousDaemon",
     "__version__",
+    "exact_speculation_gap",
+    "exact_worst_case_stabilization",
     "measure_stabilization",
     "run_speculation_study",
+    "verify_stabilization",
     "worst_case_stabilization",
 ]

@@ -85,6 +85,16 @@ class BoundedClock:
         """All values of ``cherry(alpha, K)``, from ``-alpha`` to ``K-1``."""
         return iter(range(-self._alpha, self._K))
 
+    def state_space(self) -> Tuple[int, ...]:
+        """The clock domain as an ordered tuple, ``(-alpha, ..., K-1)``.
+
+        This is the per-vertex state space clock-based protocols hand to the
+        exact model checker (:meth:`repro.core.Protocol.vertex_state_space`):
+        a contiguous integer range, so configurations pack into mixed-radix
+        integer keys.
+        """
+        return tuple(range(-self._alpha, self._K))
+
     def initial_values(self) -> FrozenSet[int]:
         """``init_X = {-alpha, ..., 0}`` (note that 0 is both initial and correct)."""
         return frozenset(range(-self._alpha, 1))

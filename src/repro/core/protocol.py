@@ -166,6 +166,26 @@ class Protocol(ABC):
         return self.random_state(vertex, random.Random(0))
 
     # ------------------------------------------------------------------ #
+    # Finite-state capability (the exact model checker)
+    # ------------------------------------------------------------------ #
+    def vertex_state_space(self, vertex: VertexId) -> Optional[Sequence[VertexStateLike]]:
+        """The finite, ordered set of legal local states of ``vertex``, or None.
+
+        Protocols whose per-vertex state ranges over a small finite domain
+        (the bounded clock of unison/SSME, Dijkstra's counter) may return
+        that domain here to unlock the exact explicit-state model checker
+        (:mod:`repro.verify`): the product of the per-vertex domains is the
+        configuration space the checker enumerates and packs into integer
+        keys.  The sequence must contain every state accepted by
+        :meth:`validate_state` for ``vertex`` (so every rule action stays
+        inside it), list each state exactly once, and use a deterministic
+        order — the order defines the packing.  The default — None —
+        declares the domain unknown/unbounded and keeps the protocol on the
+        sampling-based analyses only.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
     # Array-state capability (the vectorized engine backend)
     # ------------------------------------------------------------------ #
     def array_codec(self):

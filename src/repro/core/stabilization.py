@@ -13,6 +13,15 @@ liveness check to pass on that suffix).  For deterministic daemons
 for randomized/adversarial daemons the experiment harness takes the maximum
 over many seeds and initial configurations, which lower-bounds the true
 worst case while every upper-bound theorem must still dominate it.
+
+For finite-state protocol instances small enough to enumerate, the exact
+model checker lifts this caveat entirely: :func:`repro.verify.
+verify_stabilization` solves the adversarial scheduling game over *every*
+schedule of a daemon class (and, in exhaustive mode, every initial
+configuration), certifying the true worst case that the sampled values
+here approach from below — ``exact >= sampled`` on any shared region is
+pinned by ``tests/test_exact_consistency.py`` and the E8 driver.  See
+``docs/verify.md`` for when each layer applies.
 """
 
 from __future__ import annotations

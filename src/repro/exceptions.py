@@ -50,3 +50,10 @@ class ConstructionError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness on invalid experiment parameters."""
+
+
+class VerificationError(ReproError):
+    """Raised by the exact model checker (:mod:`repro.verify`) when an
+    instance cannot be verified exactly (missing ``vertex_state_space``
+    capability, state space or daemon-class expansion exceeding its caps,
+    malformed initial region, ...)."""

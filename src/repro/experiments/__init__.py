@@ -7,6 +7,7 @@ from .parallel import parallel_map
 from . import (
     ablation_privilege_spacing,
     dijkstra_comparison,
+    exact_small_n,
     figure1_clock,
     table_speculative_examples,
     theorem2_sync_upper,
@@ -26,6 +27,7 @@ __all__ = [
     "ablation_privilege_spacing",
     "apply_fault",
     "dijkstra_comparison",
+    "exact_small_n",
     "figure1_clock",
     "mutex_workload",
     "parallel_map",

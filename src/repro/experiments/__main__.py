@@ -26,7 +26,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments",
         nargs="*",
         choices=list(EXPERIMENT_DRIVERS) + [[]],
-        help="experiment ids to run (default: all of E1..E6)",
+        help="experiment ids to run (default: all of E1..E8)",
     )
     parser.add_argument(
         "--write",

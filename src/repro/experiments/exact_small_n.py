@@ -1,0 +1,314 @@
+"""E8 — exact model checking cross-validates the sampled theorem sweeps.
+
+Every theorem driver samples daemon schedules and initial configurations,
+so its measured worst cases lower-bound the truth.  This experiment runs
+the exact explicit-state checker (:mod:`repro.verify`) on instances small
+enough to solve and pins the sampled rows against certified values:
+
+* **SSME / Theorem 2** — on rings the exact synchronous worst case over
+  the theorem2 workload region equals the paper bound ``⌈diam(g)/2⌉``
+  (the bound is *reached*, not just respected) and dominates the sampled
+  measurement on the same initial configurations.
+* **SSME / speculation gap** — the exact Definition 4 gap: the central
+  daemon class solved against the synchronous class on the same instance
+  and region, no sampling on either side; the gap must be > 1.
+* **Dijkstra (exhaustive)** — the full ``K^n`` product space under the
+  central class: certified stabilization from *every* initial
+  configuration, exact worst case dominating sampled runs.
+* **Unison closure (exhaustive)** — the certified legitimate attractor of
+  spec_AU recomputed from the transition relation alone equals Γ₁
+  (`is_legitimate`), under the full distributed (unfair) daemon class.
+* **Broken variants** — an under-parameterized Dijkstra ring (``K`` below
+  the self-stabilization threshold) and a broken-spacing SSME variant must
+  *fail* verification with an extracted lasso counterexample that violates
+  safety infinitely often — the checker proves non-stabilization rather
+  than timing out.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from ..core import CentralDaemon, SynchronousDaemon, worst_case_stabilization
+from ..graphs import path_graph, ring_graph
+from ..mutex import SSME, DijkstraTokenRing, MutualExclusionSpec
+from ..mutex.variants import ParametricClockMutex
+from ..unison import AsynchronousUnison, AsynchronousUnisonSpec
+from ..verify import StateSpace, exact_speculation_gap, verify_stabilization
+from .runner import ExperimentReport
+from .workloads import mutex_workload
+
+__all__ = ["run_experiment", "EXPERIMENT_ID"]
+
+EXPERIMENT_ID = "E8"
+
+
+def _sync_horizon(protocol: SSME) -> int:
+    # Same shape as the theorem2 driver: one clock period plus slack.
+    return protocol.K + 4 * protocol.alpha + 16
+
+
+def _ssme_sync_row(n: int, random_count: int, rng: random.Random) -> Dict[str, object]:
+    protocol = SSME(ring_graph(n))
+    specification = MutualExclusionSpec(protocol)
+    workload = mutex_workload(
+        protocol, random.Random(rng.randrange(2**63)), random_count=random_count
+    )
+    result = verify_stabilization(protocol, specification, "synchronous", workload)
+    sampled = worst_case_stabilization(
+        protocol=protocol,
+        daemon_factory=SynchronousDaemon,
+        specification=specification,
+        initial_configurations=workload,
+        horizon=_sync_horizon(protocol),
+        rng=random.Random(rng.randrange(2**63)),
+        trace="light",
+    ).max_steps
+    bound = protocol.synchronous_stabilization_bound()
+    exact = result.exact_worst_case
+    ok = (
+        result.stabilizes
+        and exact == bound
+        and sampled is not None
+        and exact >= sampled
+    )
+    return {
+        "kind": "ssme-sd-exact",
+        "instance": f"ring({n})",
+        "daemon_class": "synchronous",
+        "states": result.state_count,
+        "exhaustive": result.exhaustive,
+        "exact_worst_steps": exact,
+        "sampled_worst_steps": sampled,
+        "paper_bound": bound,
+        "exact_equals_bound": exact == bound,
+        "exact_dominates_sampled": sampled is not None and exact is not None and exact >= sampled,
+        "certified": ok,
+    }
+
+
+def _ssme_gap_row(n: int, random_count: int, rng: random.Random) -> Dict[str, object]:
+    protocol = SSME(ring_graph(n))
+    specification = MutualExclusionSpec(protocol)
+    workload = mutex_workload(
+        protocol, random.Random(rng.randrange(2**63)), random_count=random_count
+    )
+    certificate = exact_speculation_gap(
+        protocol, specification, "central", "synchronous", workload
+    )
+    sampled_strong = worst_case_stabilization(
+        protocol=protocol,
+        daemon_factory=CentralDaemon,
+        specification=specification,
+        initial_configurations=workload,
+        horizon=4 * protocol.graph.n * (protocol.alpha + protocol.diam) + 40,
+        rng=random.Random(rng.randrange(2**63)),
+        runs_per_configuration=2,
+        trace="light",
+    ).max_steps
+    strong = certificate.strong.exact_worst_case
+    weak = certificate.weak.exact_worst_case
+    dominates = (
+        strong is not None and sampled_strong is not None and strong >= sampled_strong
+    )
+    ok = certificate.speculation_pays and dominates
+    return {
+        "kind": "ssme-exact-gap",
+        "instance": f"ring({n})",
+        "daemon_class": "central vs synchronous",
+        "states": certificate.strong.state_count,
+        "exhaustive": certificate.strong.exhaustive,
+        "exact_worst_steps": strong,
+        "sampled_worst_steps": sampled_strong,
+        "paper_bound": None,
+        "exact_weak_steps": weak,
+        "exact_gap_factor": certificate.gap_factor,
+        "exact_dominates_sampled": dominates,
+        "certified": ok,
+    }
+
+
+def _dijkstra_row(n: int, random_count: int, rng: random.Random) -> Dict[str, object]:
+    protocol = DijkstraTokenRing.on_ring(n)
+    specification = MutualExclusionSpec(protocol)
+    result = verify_stabilization(protocol, specification, "central")
+    initials = [
+        protocol.random_configuration(random.Random(rng.randrange(2**63)))
+        for _ in range(random_count)
+    ]
+    sampled = worst_case_stabilization(
+        protocol=protocol,
+        daemon_factory=CentralDaemon,
+        specification=specification,
+        initial_configurations=initials,
+        horizon=4 * protocol.graph.n * protocol.K + 40,
+        rng=random.Random(rng.randrange(2**63)),
+        runs_per_configuration=2,
+        trace="light",
+    ).max_steps
+    exact = result.exact_worst_case
+    ok = (
+        result.stabilizes
+        and result.legitimate_count > 0
+        and sampled is not None
+        and exact is not None
+        and exact >= sampled
+    )
+    return {
+        "kind": "dijkstra-exhaustive",
+        "instance": f"ring({n}), K={protocol.K}",
+        "daemon_class": "central",
+        "states": result.state_count,
+        "exhaustive": result.exhaustive,
+        "exact_worst_steps": exact,
+        "sampled_worst_steps": sampled,
+        "paper_bound": None,
+        "legitimate_states": result.legitimate_count,
+        "exact_dominates_sampled": sampled is not None and exact is not None and exact >= sampled,
+        "certified": ok,
+    }
+
+
+def _unison_closure_row() -> Dict[str, object]:
+    protocol = AsynchronousUnison(ring_graph(4), alpha=2, K=5)
+    specification = AsynchronousUnisonSpec(protocol)
+    result = verify_stabilization(protocol, specification, "distributed")
+    space = StateSpace(protocol)
+    gamma1 = [c for c in space.configurations() if protocol.is_legitimate(c)]
+    closure_matches = len(gamma1) == result.legitimate_count and all(
+        result.is_certified_legitimate(configuration) for configuration in gamma1
+    )
+    ok = result.stabilizes and closure_matches
+    return {
+        "kind": "unison-closure",
+        "instance": "ring(4), cherry(2, 5)",
+        "daemon_class": "distributed",
+        "states": result.state_count,
+        "exhaustive": result.exhaustive,
+        "exact_worst_steps": result.exact_worst_case,
+        "sampled_worst_steps": None,
+        "paper_bound": None,
+        "legitimate_states": result.legitimate_count,
+        "closure_equals_gamma1": closure_matches,
+        "certified": ok,
+    }
+
+
+def _broken_rows() -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    # Dijkstra with K below the self-stabilization threshold: the central
+    # adversary can keep two tokens alive forever.
+    protocol = DijkstraTokenRing.on_ring(4, K=2)
+    result = verify_stabilization(protocol, MutualExclusionSpec(protocol), "central")
+    lasso = result.counterexample
+    rows.append(
+        {
+            "kind": "broken-dijkstra",
+            "instance": "ring(4), K=2",
+            "daemon_class": "central",
+            "states": result.state_count,
+            "exhaustive": result.exhaustive,
+            "exact_worst_steps": None,
+            "sampled_worst_steps": None,
+            "paper_bound": None,
+            "diverging_states": result.diverging_count,
+            "lasso_cycle": len(lasso.cycle) if lasso else None,
+            "certified": (
+                not result.stabilizes and lasso is not None and lasso.violates_safety
+            ),
+        }
+    )
+    # SSME with the privilege spacing collapsed below the drift bound: Γ₁
+    # contains double privileges, and the unfair adversary revisits them
+    # forever.
+    protocol = ParametricClockMutex(path_graph(2), spacing=1)
+    result = verify_stabilization(protocol, MutualExclusionSpec(protocol), "distributed")
+    lasso = result.counterexample
+    rows.append(
+        {
+            "kind": "broken-spacing-mutex",
+            "instance": "path(2), spacing=1",
+            "daemon_class": "distributed",
+            "states": result.state_count,
+            "exhaustive": result.exhaustive,
+            "exact_worst_steps": None,
+            "sampled_worst_steps": None,
+            "paper_bound": None,
+            "diverging_states": result.diverging_count,
+            "lasso_cycle": len(lasso.cycle) if lasso else None,
+            "certified": (
+                not result.stabilizes and lasso is not None and lasso.violates_safety
+            ),
+        }
+    )
+    return rows
+
+
+def run_experiment(
+    ssme_sizes: Sequence[int] = (4, 6, 8),
+    gap_sizes: Sequence[int] = (4,),
+    dijkstra_sizes: Sequence[int] = (4, 5),
+    random_configurations_per_graph: int = 6,
+    seed: int = 0,
+    include_exhaustive: bool = True,
+    include_broken: bool = True,
+) -> ExperimentReport:
+    """Cross-validate the sampled theorem sweeps against exact values.
+
+    Pure-Python end to end (NumPy stays optional); the default sweep solves
+    every instance in a few seconds.
+    """
+    rng = random.Random(seed)
+    rows: List[Dict[str, object]] = []
+    for n in ssme_sizes:
+        rows.append(_ssme_sync_row(n, random_configurations_per_graph, rng))
+    for n in gap_sizes:
+        rows.append(_ssme_gap_row(n, random_configurations_per_graph, rng))
+    if include_exhaustive:
+        for n in dijkstra_sizes:
+            rows.append(_dijkstra_row(n, random_configurations_per_graph, rng))
+        rows.append(_unison_closure_row())
+    if include_broken:
+        rows.extend(_broken_rows())
+
+    sync_rows = [row for row in rows if row["kind"] == "ssme-sd-exact"]
+    summary = {
+        "exact_equals_theorem2_bound_on_every_ring": all(
+            row["exact_equals_bound"] for row in sync_rows
+        ),
+        "exact_dominates_sampled_everywhere": all(
+            row["exact_dominates_sampled"]
+            for row in rows
+            if "exact_dominates_sampled" in row
+        ),
+        "broken_variants_yield_lasso": all(
+            row["certified"] for row in rows if row["kind"].startswith("broken")
+        ),
+        "all_certified": all(row["certified"] for row in rows),
+    }
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title="Exact model checking of small instances (repro.verify)",
+        paper_claim=(
+            "On instances small enough to solve exactly, the certified "
+            "worst cases confirm the sampled sweeps: conv_time(SSME, sd) "
+            "equals ceil(diam/2) exactly, the exact values dominate every "
+            "sampled value, and the speculation gap is certified > 1"
+        ),
+        rows=rows,
+        summary=summary,
+        passed=bool(summary["all_certified"]),
+        notes=[
+            "'exhaustive' rows solve the full product state space (every "
+            "initial configuration); the SSME rows solve the reachable "
+            "closure of the theorem2/theorem3 workload region, which is "
+            "exact for every daemon schedule from those initials.",
+            "Broken rows are expected to fail stabilization: the checker "
+            "must extract a lasso counterexample whose cycle violates "
+            "safety infinitely often.",
+            "Sampled values come from worst_case_stabilization on the same "
+            "initial configurations, so 'exact >= sampled' cross-validates "
+            "sampler and solver against each other.",
+        ],
+    )

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from . import (
     ablation_privilege_spacing,
     dijkstra_comparison,
+    exact_small_n,
     figure1_clock,
     table_speculative_examples,
     theorem2_sync_upper,
@@ -24,7 +25,8 @@ from .runner import ExperimentReport
 __all__ = ["EXPERIMENT_DRIVERS", "run_all_experiments", "render_experiments_markdown"]
 
 #: The experiment drivers in presentation order.  E1–E6 reproduce paper
-#: artefacts; E7 is the ablation of the clock-size design choice.
+#: artefacts; E7 is the ablation of the clock-size design choice; E8
+#: cross-validates the sampled sweeps against the exact model checker.
 EXPERIMENT_DRIVERS: Dict[str, Callable[[], ExperimentReport]] = {
     "E1": figure1_clock.run_experiment,
     "E2": table_speculative_examples.run_experiment,
@@ -33,6 +35,7 @@ EXPERIMENT_DRIVERS: Dict[str, Callable[[], ExperimentReport]] = {
     "E5": theorem4_lower_bound.run_experiment,
     "E6": dijkstra_comparison.run_experiment,
     "E7": ablation_privilege_spacing.run_experiment,
+    "E8": exact_small_n.run_experiment,
 }
 
 

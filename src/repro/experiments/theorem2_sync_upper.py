@@ -30,6 +30,7 @@ from ..core import (
     measure_stabilization,
 )
 from ..graphs import make_topology
+from ..lowerbound import default_spliced_delays
 from ..mutex import SSME, MutualExclusionSpec
 from .parallel import parallel_map
 from .runner import ExperimentReport
@@ -116,10 +117,16 @@ def run_experiment(
     for topology, size in sweep:
         graph = make_topology(topology, size)
         protocol = SSME(graph)
+        # Beyond the plain random faults the workload seeds the lower-bound
+        # witnesses: double privileges on the diametral pair plus two more
+        # far pairs, and spliced Theorem 4 configurations at the latest and
+        # midpoint delays — random initials almost never exercise the bound.
         workload = mutex_workload(
             protocol,
             random.Random(rng.randrange(2**63)),
             random_count=random_configurations_per_graph,
+            extra_pairs=2,
+            spliced_delays=default_spliced_delays(protocol.diam),
         )
         trial_rng = random.Random(rng.randrange(2**63))
         first_task = len(tasks)

@@ -168,10 +168,14 @@ def run_experiment(
     for topology, size in sweep:
         graph = make_topology(topology, size)
         protocol = SSME(graph)
+        # Seed the sweep with an extra far-pair double-privilege witness on
+        # top of the diametral one: unfair schedulers then start from
+        # configurations that actually exercise the mutual-exclusion bound.
         workload = mutex_workload(
             protocol,
             random.Random(rng.randrange(2**63)),
             random_count=random_configurations_per_graph,
+            extra_pairs=1,
         )
         first_task = len(tasks)
         for daemon_name, _factory in daemon_factories:

@@ -71,12 +71,22 @@ def mutex_workload(
     rng: random.Random,
     random_count: int = 10,
     include_spliced: bool = True,
+    extra_pairs: int = 0,
+    spliced_delays: Optional[Sequence[int]] = None,
 ) -> List[Configuration]:
     """The standard mutual-exclusion workload: random + adversarial
-    configurations (see :func:`repro.lowerbound.adversarial_mutex_configurations`)."""
+    configurations (see :func:`repro.lowerbound.adversarial_mutex_configurations`).
+
+    ``extra_pairs`` plants double privileges on additional far-apart vertex
+    pairs and ``spliced_delays`` selects the Theorem 4 splicing delays —
+    the theorem2/theorem3 sweeps use both to make sure the bounds are
+    exercised from several directions, not only the diametral one.
+    """
     return adversarial_mutex_configurations(
         protocol,
         rng,
         random_count=random_count,
         include_spliced=include_spliced,
+        extra_pairs=extra_pairs,
+        spliced_delays=spliced_delays,
     )

@@ -12,8 +12,11 @@ from .construction import (
 )
 from .witness import (
     adversarial_mutex_configurations,
+    default_spliced_delays,
+    farthest_vertex_pairs,
     immediate_double_privilege_configuration,
     latest_violation_configuration,
+    spliced_violation_configurations,
 )
 
 __all__ = [
@@ -21,9 +24,12 @@ __all__ = [
     "adversarial_mutex_configurations",
     "check_local_indistinguishability",
     "construct_double_privilege_witness",
+    "default_spliced_delays",
+    "farthest_vertex_pairs",
     "find_privileged_step",
     "immediate_double_privilege_configuration",
     "latest_violation_configuration",
+    "spliced_violation_configurations",
     "local_state",
     "local_states_equal",
     "lower_bound_profile",

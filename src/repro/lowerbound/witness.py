@@ -24,8 +24,71 @@ from .construction import construct_double_privilege_witness
 __all__ = [
     "immediate_double_privilege_configuration",
     "latest_violation_configuration",
+    "farthest_vertex_pairs",
+    "default_spliced_delays",
+    "spliced_violation_configurations",
     "adversarial_mutex_configurations",
 ]
+
+
+def default_spliced_delays(diam: int) -> Tuple[int, int]:
+    """The standard splicing delays for a graph of diameter ``diam``: the
+    latest admissible violation delay ``⌈diam/2⌉ - 1`` and its midpoint
+    (the midpoint witness violates safety mid-recovery, a shape the latest
+    witness alone does not exercise; duplicates are collapsed by the
+    consumers)."""
+    latest = max(0, math.ceil(diam / 2) - 1)
+    return latest, latest // 2
+
+
+def farthest_vertex_pairs(
+    protocol: Protocol, count: int
+) -> List[Tuple[VertexId, VertexId]]:
+    """The ``count`` most distant vertex pairs, farthest first.
+
+    Pairs at distance 0 never occur (a pair is two distinct vertices); ties
+    are broken by vertex repr so the selection is deterministic.  Used to
+    diversify the double-privilege workloads beyond the single diametral
+    pair: on non-vertex-transitive graphs different far pairs exercise
+    different recovery regions.
+    """
+    if count < 0:
+        raise ConstructionError("count must be non-negative")
+    graph = protocol.graph
+    vertices = sorted(graph.vertices, key=repr)
+    pairs: List[Tuple[int, VertexId, VertexId]] = []
+    for position, u in enumerate(vertices):
+        distances = graph.bfs_distances(u)
+        for v in vertices[position + 1 :]:
+            pairs.append((distances[v], u, v))
+    pairs.sort(key=lambda entry: (-entry[0], repr(entry[1]), repr(entry[2])))
+    return [(u, v) for _distance, u, v in pairs[:count]]
+
+
+def spliced_violation_configurations(
+    protocol: Protocol,
+    delays: Optional[Sequence[int]] = None,
+    horizon: Optional[int] = None,
+) -> List[Configuration]:
+    """Spliced Theorem 4 configurations at several violation delays.
+
+    ``delays`` lists the delays ``t`` to construct witnesses for; each is
+    clamped to the admissible range ``0 <= t <= ⌈diam/2⌉ - 1`` and
+    duplicates are dropped.  The default is :func:`default_spliced_delays`:
+    the latest admissible delay (the
+    :func:`latest_violation_configuration`) plus its midpoint when distinct.
+    """
+    diam = diameter(protocol.graph)
+    if diam == 0:
+        raise ConstructionError("no violation is constructible on a single vertex")
+    latest = max(0, math.ceil(diam / 2) - 1)
+    if delays is None:
+        delays = default_spliced_delays(diam)
+    clamped = sorted({min(max(0, int(t)), latest) for t in delays}, reverse=True)
+    return [
+        construct_double_privilege_witness(protocol, t, horizon=horizon).initial_configuration
+        for t in clamped
+    ]
 
 
 def immediate_double_privilege_configuration(
@@ -80,6 +143,8 @@ def adversarial_mutex_configurations(
     rng: random.Random,
     random_count: int = 10,
     include_spliced: bool = True,
+    extra_pairs: int = 0,
+    spliced_delays: Optional[Sequence[int]] = None,
 ) -> List[Configuration]:
     """A workload of initial configurations for mutual-exclusion experiments.
 
@@ -88,13 +153,18 @@ def adversarial_mutex_configurations(
     * ``random_count`` arbitrary configurations (the plain transient-fault
       model),
     * an immediate double-privilege configuration (when the protocol
-      supports planting privileges), and
-    * the latest-violation spliced configuration of Theorem 4 (when
-      ``include_spliced`` and the diameter is at least 2).
+      supports planting privileges), plus one per additional far-apart
+      vertex pair when ``extra_pairs > 0`` (see
+      :func:`farthest_vertex_pairs` — random initials almost never plant
+      two privileges, so these are what make the measured worst cases
+      exercise the bounds at all), and
+    * spliced Theorem 4 configurations (when ``include_spliced`` and the
+      diameter is at least 1): the latest-violation witness by default, or
+      one witness per delay in ``spliced_delays``.
 
-    The spliced configuration is the one that realizes (up to one step) the
-    worst case of Theorem 2, so including it makes the measured synchronous
-    stabilization times meaningful rather than trivially zero.
+    The spliced configurations are the ones that realize (up to one step)
+    the worst case of Theorem 2, so including them makes the measured
+    synchronous stabilization times meaningful rather than trivially zero.
     """
     if not isinstance(protocol, PrivilegeAware):
         raise ConstructionError("adversarial workloads need a privilege-aware protocol")
@@ -103,7 +173,23 @@ def adversarial_mutex_configurations(
     ]
     diam = diameter(protocol.graph)
     if diam >= 1 and getattr(protocol, "privileged_value", None) is not None:
+        diametral = frozenset(diameter_endpoints(protocol.graph))
         configurations.append(immediate_double_privilege_configuration(protocol))
+        if extra_pairs > 0:
+            others = [
+                pair
+                for pair in farthest_vertex_pairs(protocol, extra_pairs + 1)
+                if frozenset(pair) != diametral
+            ]
+            configurations.extend(
+                immediate_double_privilege_configuration(protocol, pair)
+                for pair in others[:extra_pairs]
+            )
     if include_spliced and diam >= 1:
-        configurations.append(latest_violation_configuration(protocol))
+        if spliced_delays is None:
+            configurations.append(latest_violation_configuration(protocol))
+        else:
+            configurations.extend(
+                spliced_violation_configurations(protocol, spliced_delays)
+            )
     return configurations

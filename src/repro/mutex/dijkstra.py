@@ -154,6 +154,10 @@ class DijkstraTokenRing(Protocol, PrivilegeAware):
     def rules(self) -> Sequence[Rule]:
         return self._rules
 
+    def vertex_state_space(self, vertex: VertexId) -> Sequence[int]:
+        """Every machine's counter ranges over ``{0, ..., K-1}``."""
+        return range(self._K)
+
     def array_codec(self):
         """States are plain counter ints — the trivial width-1 codec."""
         from ..core.vector import IntCodec, numpy_available

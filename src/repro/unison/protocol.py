@@ -225,6 +225,11 @@ class AsynchronousUnison(Protocol):
     def rules(self) -> Sequence[Rule]:
         return self._rules
 
+    def vertex_state_space(self, vertex: VertexId) -> Sequence[int]:
+        """Every vertex ranges over the whole clock domain ``cherry(alpha, K)``
+        (SSME and the parametric variants inherit this unchanged)."""
+        return self._clock.state_space()
+
     def array_codec(self):
         """States are plain clock ints — the trivial width-1 codec."""
         from ..core.vector import IntCodec, numpy_available

@@ -1,0 +1,124 @@
+"""The consistency gate: exact worst case >= sampled worst case.
+
+One inequality catches bugs on both sides at once.  For any shared set of
+initial configurations, every schedule a sampled daemon follows is one of
+the schedules the exact checker expands, and a sampled trace's observed
+stabilization index never exceeds its entry time into the legitimate
+attractor — so ``exact >= sampled`` must hold *unconditionally*.  A
+violation means either the sampler over-reports (safety monitoring bug,
+horizon accounting bug) or the solver under-reports (expansion missing
+schedules, fixpoint converging too early).
+
+The property is fuzzed across protocol families (Dijkstra, unison, SSME),
+daemon classes (synchronous / central / distributed) with their matching
+sampled daemons, seeds, and workloads of random initial configurations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CentralDaemon,
+    DistributedDaemon,
+    SynchronousDaemon,
+    worst_case_stabilization,
+)
+from repro.graphs import ring_graph
+from repro.mutex import SSME, DijkstraTokenRing, MutualExclusionSpec
+from repro.unison import AsynchronousUnison, AsynchronousUnisonSpec
+from repro.verify import verify_stabilization
+
+#: (instance builder, horizon) per family; sizes stay small enough that the
+#: reachable closures solve in milliseconds.
+def _dijkstra(n):
+    protocol = DijkstraTokenRing.on_ring(n)
+    return protocol, MutualExclusionSpec(protocol), 6 * n * protocol.K + 40
+
+
+def _unison(n):
+    protocol = AsynchronousUnison(ring_graph(n), alpha=2, K=n + 1)
+    return protocol, AsynchronousUnisonSpec(protocol), 60 * n + 100
+
+
+def _ssme(n):
+    protocol = SSME(ring_graph(n))
+    return protocol, MutualExclusionSpec(protocol), protocol.K + 8 * protocol.alpha + 40
+
+
+INSTANCES = {
+    "dijkstra-3": lambda: _dijkstra(3),
+    "dijkstra-4": lambda: _dijkstra(4),
+    "dijkstra-5": lambda: _dijkstra(5),
+    "unison-3": lambda: _unison(3),
+    "unison-4": lambda: _unison(4),
+    "ssme-4": lambda: _ssme(4),
+}
+
+#: Daemon class -> a sampled daemon whose every selection the class admits.
+SAMPLED_DAEMONS = {
+    "synchronous": SynchronousDaemon,
+    "central": CentralDaemon,
+    "distributed": lambda: DistributedDaemon(activation_probability=0.5),
+}
+
+
+@given(
+    instance=st.sampled_from(sorted(INSTANCES)),
+    daemon_class=st.sampled_from(sorted(SAMPLED_DAEMONS)),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_exact_dominates_sampled(instance, daemon_class, seed):
+    protocol, specification, horizon = INSTANCES[instance]()
+    rng = random.Random(seed)
+    initials = [protocol.random_configuration(rng) for _ in range(3)]
+
+    result = verify_stabilization(protocol, specification, daemon_class, initials)
+    sampled = worst_case_stabilization(
+        protocol=protocol,
+        daemon_factory=SAMPLED_DAEMONS[daemon_class],
+        specification=specification,
+        initial_configurations=initials,
+        horizon=horizon,
+        rng=random.Random(rng.randrange(2**63)),
+        runs_per_configuration=2,
+        trace="light",
+    ).max_steps
+
+    # All the library protocols stabilize under every daemon class, so the
+    # exact side must certify that — divergence here would itself be a bug.
+    assert result.stabilizes, "exact checker reported divergence on a stabilizing instance"
+    if sampled is None:
+        # The sampled run outran its horizon; the exact value must explain
+        # why (the adversary can indeed force more steps than the window).
+        assert result.exact_worst_case > horizon
+    else:
+        assert result.exact_worst_case >= sampled
+
+
+@pytest.mark.parametrize("n", [4, 6])
+def test_exact_dominates_sampled_on_the_shared_theorem2_workload(n):
+    """The gate on the exact workload the theorem2 sweep uses (not random)."""
+    from repro.experiments import mutex_workload
+
+    protocol = SSME(ring_graph(n))
+    specification = MutualExclusionSpec(protocol)
+    workload = mutex_workload(
+        protocol, random.Random(0), random_count=4, extra_pairs=2
+    )
+    result = verify_stabilization(protocol, specification, "synchronous", workload)
+    sampled = worst_case_stabilization(
+        protocol=protocol,
+        daemon_factory=SynchronousDaemon,
+        specification=specification,
+        initial_configurations=workload,
+        horizon=protocol.K + 4 * protocol.alpha + 16,
+        trace="light",
+    ).max_steps
+    assert sampled is not None
+    assert result.exact_worst_case >= sampled

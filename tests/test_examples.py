@@ -35,6 +35,7 @@ class TestExamplesRun:
             "speculation_study.py",
             "unison_clock_sync.py",
             "lower_bound_witness.py",
+            "exact_verification.py",
         } <= names
 
     def test_quickstart(self, capsys):
@@ -55,6 +56,13 @@ class TestExamplesRun:
         module.main(n=8, seed=2)
         out = capsys.readouterr().out
         assert "reached Γ₁" in out
+
+    def test_exact_verification(self, capsys):
+        module = load_example("exact_verification.py")
+        module.main(n=4, seed=1)
+        out = capsys.readouterr().out
+        assert "certified tight" in out
+        assert "speculation pays" in out
 
     def test_sensor_grid_recovery(self, capsys):
         module = load_example("sensor_grid_recovery.py")

@@ -168,7 +168,16 @@ class TestDrivers:
 
 class TestReporting:
     def test_driver_registry_is_complete(self):
-        assert set(EXPERIMENT_DRIVERS) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7"}
+        assert set(EXPERIMENT_DRIVERS) == {
+            "E1",
+            "E2",
+            "E3",
+            "E4",
+            "E5",
+            "E6",
+            "E7",
+            "E8",
+        }
 
     def test_run_all_selected(self):
         reports = run_all_experiments(only=["E1"])

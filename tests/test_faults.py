@@ -74,6 +74,51 @@ class TestFaultModels:
         with pytest.raises(ExperimentError):
             apply_fault("cosmic-ray", protocol, base, rng)
 
+    def test_unknown_fault_message_lists_known_models(self, protocol, base, rng):
+        with pytest.raises(ExperimentError, match="single-vertex"):
+            apply_fault("cosmic-ray", protocol, base, rng)
+
+    def test_every_model_is_deterministic_under_a_fixed_rng(self, protocol, base):
+        for name in FAULT_MODELS:
+            first = apply_fault(name, protocol, base, random.Random(77))
+            second = apply_fault(name, protocol, base, random.Random(77))
+            assert first == second, name
+
+    def test_every_model_leaves_base_untouched(self, protocol, base, rng):
+        snapshot = base.as_dict()
+        for name in FAULT_MODELS:
+            apply_fault(name, protocol, base, rng)
+        assert base.as_dict() == snapshot
+
+    def test_corruption_footprint_per_model(self, protocol, base, rng):
+        n = protocol.graph.n
+        for _ in range(5):
+            touched = len(base.differing_vertices(single_vertex_fault(protocol, base, rng)))
+            assert touched <= 1
+            # A radius-1 burst cannot exceed the largest closed neighbourhood.
+            max_ball = max(
+                len(protocol.graph.ball(v, 1)) for v in protocol.graph.vertices
+            )
+            touched = len(
+                base.differing_vertices(localized_burst_fault(protocol, base, rng, radius=1))
+            )
+            assert touched <= max_ball
+            touched = len(base.differing_vertices(global_fault(protocol, base, rng)))
+            assert touched <= n
+            touched = len(
+                base.differing_vertices(clock_skew_fault(protocol, base, rng, max_skew=2))
+            )
+            assert touched <= n
+
+    def test_zero_skew_is_a_no_op(self, protocol, base, rng):
+        assert clock_skew_fault(protocol, base, rng, max_skew=0) == base
+
+    def test_faulted_states_stay_valid(self, protocol, base, rng):
+        for name in FAULT_MODELS:
+            faulted = apply_fault(name, protocol, base, rng)
+            for vertex in protocol.graph.vertices:
+                protocol.validate_state(vertex, faulted[vertex])
+
 
 class TestRecoveryFromEveryFaultModel:
     def test_ssme_recovers_within_theorem2_bound(self, protocol, base, rng):
