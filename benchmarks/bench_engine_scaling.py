@@ -27,15 +27,28 @@ Headline numbers (acceptance criteria of the engine PRs):
   incremental >= 5x (PR 2, batched in-place view refresh);
 * ``headline_sd_vector`` — synchronous daemon on ``ring_graph(800)``
   (largest measured size under ``--quick``): vector kernel >= 15x the
-  reference engine (PR 3, array-state kernel).
+  reference engine (PR 3, array-state kernel);
+* ``headline_sd_superstep`` — synchronous daemon on ``ring_graph(3200)``
+  (degrades to the largest measured size under ``--quick``): batched
+  superstep backend >= 50x the reference engine (PR 5, in-kernel
+  supersteps).  The reference baseline for this one row is measured at
+  n=3200 directly (a few seconds of full rescans).
 
-The dense regime is also swept at ``n ∈ {3200, 10000}`` (sd only, without
-the reference engine, whose full rescan takes minutes there) to track how
-the vector kernel scales toward the north-star topology sizes.  Those rows
-start from the **legitimate** configuration — their step budget is far
-below the ~n synchronous steps a random initial needs to stabilize at
+The dense regime is also swept at ``n ∈ {3200, 10000}`` (sd only; the
+reference engine appears only in the n=3200 baseline row) and the
+superstep regime at ``n ∈ {100000, 1000000}`` (single-step vector light at
+1e5, superstep light at both — the single-step engine takes ~20s/120 steps
+at 1e5 and materialized per-step deltas dominate memory at 1e6).  Those
+rows start from the **legitimate** configuration — their step budget is
+far below the ~n synchronous steps a random initial needs to stabilize at
 these sizes, so a random start would measure the reset churn rather than
 the steady state; each row records which ``initial`` it timed.
+
+Every row records ``peak_rss_mb`` — the process-wide high-water RSS after
+the row's runs (``getrusage``, Linux/macOS only, ``null`` elsewhere).
+The counter is monotone, so a row's value is an *upper* bound attributable
+to it only because rows run smallest-size first; read deltas between
+consecutive rows, not absolutes.
 """
 
 from __future__ import annotations
@@ -48,6 +61,11 @@ import statistics
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows
+    resource = None  # type: ignore[assignment]
 
 from repro.core import (
     CentralDaemon,
@@ -62,9 +80,20 @@ from repro.unison import AsynchronousUnison
 DEFAULT_SIZES = (50, 200, 800)
 QUICK_SIZES = (50, 200)
 
-#: Dense-regime scaling sizes: sd only, no reference baseline (its full
-#: rescan is O(minutes) per run at these sizes).
+#: Dense-regime scaling sizes: sd only; the reference engine is measured
+#: at SUPERSTEP_HEADLINE_N alone (to baseline the superstep headline) and
+#: skipped everywhere else in this range.
 LARGE_SIZES = (3200, 10000)
+
+#: Superstep-regime scaling sizes: sd only, light traces only.  The
+#: single-step vector engine is still measured at the first size (~20s per
+#: 120-step run); at the last only the superstep backend runs — its
+#: checkpoint-and-replay trace keeps memory at a few state arrays where
+#: the single-step engine materializes per-step deltas.
+HUGE_SIZES = (100_000, 1_000_000)
+
+#: The size whose reference-engine baseline anchors headline_sd_superstep.
+SUPERSTEP_HEADLINE_N = 3200
 
 DAEMON_FACTORIES = {
     "cd": CentralDaemon,
@@ -80,11 +109,21 @@ ENGINE_MODES = (
     ("vector", "light"),
 )
 
-#: Modes measured at the LARGE_SIZES rows.
+#: Extra modes measured only under the synchronous daemon — the batched
+#: superstep path engages for sd alone (elsewhere "vector-superstep"
+#: degrades to plain single-step "vector" and would duplicate those rows).
+SD_ENGINE_MODES = (
+    ("vector-superstep", "full"),
+    ("vector-superstep", "light"),
+)
+
+#: Modes measured at the LARGE_SIZES rows (all sd).
 LARGE_ENGINE_MODES = (
     ("incremental", "light"),
     ("vector", "full"),
     ("vector", "light"),
+    ("vector-superstep", "full"),
+    ("vector-superstep", "light"),
 )
 
 
@@ -102,6 +141,17 @@ def _steps_for(n: int) -> int:
     legitimate configuration to time the pure steady state instead.
     """
     return max(120, 480_000 // n)
+
+
+def _peak_rss_mb() -> Optional[int]:
+    """Process-wide high-water RSS in MB (monotone; None off Unix)."""
+    if resource is None:
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KB, macOS bytes.
+    if sys.platform == "darwin":
+        rss //= 1024
+    return rss // 1024
 
 
 def _measure(
@@ -145,6 +195,7 @@ def _measure(
         "repeats": repeats,
         "initial": initial_kind,
         "steps_per_sec": round(statistics.median(rates), 1),
+        "peak_rss_mb": _peak_rss_mb(),
     }
 
 
@@ -152,6 +203,7 @@ def run_benchmark(
     sizes: Sequence[int] = DEFAULT_SIZES,
     daemons: Sequence[str] = tuple(DAEMON_FACTORIES),
     large_sizes: Sequence[int] = LARGE_SIZES,
+    huge_sizes: Sequence[int] = HUGE_SIZES,
     seed: int = 0,
     repeats: int = 3,
 ) -> Dict[str, object]:
@@ -187,7 +239,10 @@ def run_benchmark(
         # validation is skipped because it does not scale to the n>=3200 rows.
         protocol = AsynchronousUnison(ring_graph(n), validate_parameters=False)
         for daemon_name in daemons:
-            for engine, trace in engine_modes:
+            modes = engine_modes
+            if daemon_name == "sd" and have_numpy:
+                modes = modes + SD_ENGINE_MODES
+            for engine, trace in modes:
                 measure_into_rows(protocol, daemon_name, engine, trace, _steps_for(n))
 
     # Dense-regime scaling rows: the reference engine is deliberately
@@ -203,12 +258,38 @@ def run_benchmark(
         # alpha=n, K=n+1 (the defaults) are always valid; the exact hole/cyclo
         # validation is skipped because it does not scale to the n>=3200 rows.
         protocol = AsynchronousUnison(ring_graph(n), validate_parameters=False)
-        for engine, trace in LARGE_ENGINE_MODES:
-            if engine == "vector" and not have_numpy:
+        modes: Tuple[Tuple[str, str], ...] = LARGE_ENGINE_MODES
+        if n == SUPERSTEP_HEADLINE_N:
+            # The one reference baseline in this range, anchoring
+            # headline_sd_superstep (a few seconds of full rescans).
+            modes = (("reference", "full"),) + modes
+        for engine, trace in modes:
+            if engine.startswith("vector") and not have_numpy:
                 continue
             measure_into_rows(
                 protocol, "sd", engine, trace, _steps_for(n), initial_kind="legitimate"
             )
+
+    # Superstep-regime rows: light traces only — a full trace materializes
+    # one (n,)-state array per step, which at these sizes is the very cost
+    # the checkpoint-and-replay design exists to avoid.
+    for n in huge_sizes:
+        if not have_numpy:
+            break
+        protocol = AsynchronousUnison(ring_graph(n), validate_parameters=False)
+        if n <= min(huge_sizes):
+            # Single-step comparison point (~20s per 120-step run at 1e5).
+            measure_into_rows(
+                protocol, "sd", "vector", "light", _steps_for(n), initial_kind="legitimate"
+            )
+        measure_into_rows(
+            protocol,
+            "sd",
+            "vector-superstep",
+            "light",
+            _steps_for(n),
+            initial_kind="legitimate",
+        )
 
     def throughput(n: int, daemon: str, engine: str, trace: str) -> Optional[float]:
         for row in rows:
@@ -227,7 +308,10 @@ def run_benchmark(
             base = throughput(n, daemon_name, "reference", "full")
             if not base:
                 continue
-            for engine, trace in engine_modes[1:]:
+            modes = tuple(engine_modes[1:])
+            if daemon_name == "sd" and have_numpy:
+                modes = modes + SD_ENGINE_MODES
+            for engine, trace in modes:
                 new = throughput(n, daemon_name, engine, trace)
                 if new:
                     speedups.append(
@@ -267,6 +351,27 @@ def run_benchmark(
         if have_numpy and "sd" in daemons
         else {}
     )
+    if headline_sd_vector and vector_n != 800:
+        # Quick-mode fallback size: the 15x acceptance target was set at
+        # n=800 and is borderline at n=200 — informational there, never a
+        # failure exit (CI's own check stays report-only either way).
+        headline_sd_vector["degraded"] = True
+    # The superstep headline prefers the n=3200 baseline row; under --quick
+    # (no large sizes, hence no 3200 reference) it degrades to the largest
+    # size of the main sweep, like the vector headline.
+    superstep_n = (
+        SUPERSTEP_HEADLINE_N if SUPERSTEP_HEADLINE_N in large_sizes else vector_n
+    )
+    headline_sd_superstep = (
+        make_headline("sd", "vector-superstep", superstep_n, 50.0)
+        if have_numpy and "sd" in daemons
+        else {}
+    )
+    if headline_sd_superstep and superstep_n != SUPERSTEP_HEADLINE_N:
+        # Measured at a quick-mode fallback size where the full-sweep 50x
+        # target is not expected to hold: informational, never a failure
+        # exit (CI applies its own superstep-vs-single-step-vector check).
+        headline_sd_superstep["degraded"] = True
 
     return {
         "benchmark": "engine_scaling",
@@ -280,6 +385,7 @@ def run_benchmark(
         "headline": headline,
         "headline_sd": headline_sd,
         "headline_sd_vector": headline_sd_vector,
+        "headline_sd_superstep": headline_sd_superstep,
     }
 
 
@@ -294,7 +400,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="skip the n=800 and dense-regime (n>=3200) sweeps (CI)",
+        help="skip the n=800, dense-regime (n>=3200) and superstep-regime "
+        "(n>=100000) sweeps (CI)",
     )
     parser.add_argument(
         "--repeats",
@@ -307,8 +414,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     sizes = QUICK_SIZES if args.quick else DEFAULT_SIZES
     large_sizes: Sequence[int] = () if args.quick else LARGE_SIZES
+    huge_sizes: Sequence[int] = () if args.quick else HUGE_SIZES
     summary = run_benchmark(
-        sizes=sizes, large_sizes=large_sizes, seed=args.seed, repeats=args.repeats
+        sizes=sizes,
+        large_sizes=large_sizes,
+        huge_sizes=huge_sizes,
+        seed=args.seed,
+        repeats=args.repeats,
     )
     with open(args.json, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2)
@@ -319,18 +431,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("headline", "cd/incremental"),
         ("headline_sd", "sd/incremental"),
         ("headline_sd_vector", "sd/vector"),
+        ("headline_sd_superstep", "sd/vector-superstep"),
     ):
         head = summary.get(key)
         if not head:
             continue
         engine = head["engine"]
+        if head.get("degraded"):
+            verdict = (
+                "PASS" if head["meets_target"] else "MISS at quick-mode size, informational"
+            )
+        else:
+            verdict = "PASS" if head["meets_target"] else "FAIL"
         print(
             f"{key}: {label}/ring({head['n']}) speedup "
             f"full={head[f'{engine}_full_speedup']}x "
             f"light={head[f'{engine}_light_speedup']}x "
-            f"(target >= {head['target']}x: {'PASS' if head['meets_target'] else 'FAIL'})"
+            f"(target >= {head['target']}x: {verdict})"
         )
-        if not head["meets_target"]:
+        if not head["meets_target"] and not head.get("degraded"):
             status = 1
     return status
 

@@ -70,6 +70,22 @@ class Daemon(ABC):
     #: paths.  Purely advisory — every backend is correct for every daemon.
     dense: bool = False
 
+    #: True only for daemons whose selection is *always* the full enabled
+    #: set (the synchronous daemon).  Such schedules are deterministic given
+    #: the initial configuration, which is what licenses the batched
+    #: superstep path of :class:`repro.core.vector.VectorEngine`: K steps
+    #: can be executed as pure array operations because no per-step daemon
+    #: decision exists.  Never set this on a daemon that can activate a
+    #: proper subset — the superstep path skips ``select`` entirely.
+    synchronous: bool = False
+
+    #: Advisory expected fraction of the enabled set activated per step
+    #: (``None`` when unknown).  Used by the automatic backend selection to
+    #: route mid-density daemons (``0.2 <= density < 0.5``) to the array
+    #: kernel on large graphs, where the vectorized sparse guard refresh
+    #: beats the dict-backed dirty-set paths.
+    density: Optional[float] = None
+
     def __init__(self) -> None:
         self._protocol: Optional[Protocol] = None
         self._sorted_vertices: Optional[List[VertexId]] = None
@@ -184,6 +200,8 @@ class SynchronousDaemon(Daemon):
 
     name = "sd"
     dense = True
+    synchronous = True
+    density = 1.0
 
     def select(
         self,
@@ -302,6 +320,7 @@ class DistributedDaemon(Daemon):
         # Expected selections cover at least half the enabled set: the
         # dense regime the vector backend is built for.
         self.dense = activation_probability >= 0.5
+        self.density = activation_probability
 
     def select(
         self,

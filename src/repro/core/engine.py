@@ -56,7 +56,34 @@ from .protocol import ActivationRecord, Protocol
 from .rules import LocalView, Rule
 from .state import Configuration, ConfigurationBuffer
 
-__all__ = ["IncrementalEngine", "protocol_supports_incremental"]
+__all__ = [
+    "IncrementalEngine",
+    "prefers_array_backend",
+    "protocol_supports_incremental",
+]
+
+
+#: Automatic-backend policy for mid-density daemons: a daemon that is not
+#: ``dense`` but advertises an expected activation fraction of at least
+#: ``_MID_DENSITY`` is routed to the array kernel on graphs of at least
+#: ``_MID_DENSITY_MIN_N`` vertices, where the vectorized sparse guard
+#: refresh beats the dict-backed dirty-set paths.  Purely advisory — every
+#: backend is correct for every daemon.
+_MID_DENSITY = 0.2
+_MID_DENSITY_MIN_N = 512
+
+
+def prefers_array_backend(daemon: Daemon, n: int) -> bool:
+    """Whether automatic backend selection should try the array kernel for
+    ``daemon`` on a graph of ``n`` vertices (dense daemons always; known
+    mid-density daemons on large graphs)."""
+    if daemon.dense:
+        return True
+    return (
+        daemon.density is not None
+        and daemon.density >= _MID_DENSITY
+        and n >= _MID_DENSITY_MIN_N
+    )
 
 
 def protocol_supports_incremental(protocol: Protocol) -> bool:
@@ -114,8 +141,8 @@ class IncrementalEngine:
             v: tuple(self._graph.neighbors(v)) for v in self._vertices
         }
         self._vector = None
-        #: Which backend the most recent ``run`` used ("vector" or "dict");
-        #: None before the first run.  Diagnostic only.
+        #: Which backend the most recent ``run`` used ("vector-superstep",
+        #: "vector" or "dict"); None before the first run.  Diagnostic only.
         self.last_run_backend: Optional[str] = None
 
     def _vector_engine(self):
@@ -148,6 +175,7 @@ class IncrementalEngine:
         stop_when: Optional[Callable[[Configuration, int], bool]] = None,
         trace: str = "full",
         backend: str = "auto",
+        superstep: Optional[int] = None,
     ) -> Execution:
         """Run up to ``max_steps`` actions from ``initial``.
 
@@ -165,21 +193,44 @@ class IncrementalEngine:
         view would observe it silently change under later actions.
 
         ``backend`` selects between the dict-based sparse/batch paths
-        (``"dict"``) and the NumPy array-state kernel (``"vector"``);
-        ``"auto"`` (default) picks the vector backend for dense daemons
-        when the protocol declares one.  Requests the capability cannot
-        honour (no kernel, no NumPy, states outside the codec's layout)
-        fall back to the dict paths — never an error.
+        (``"dict"``), the per-step NumPy array-state kernel (``"vector"``),
+        and the batched synchronous kernel loop (``"vector-superstep"``,
+        ``superstep`` steps per block — see
+        :meth:`VectorEngine.run_supersteps`); ``"auto"`` (default) picks the
+        array backend for daemons :func:`prefers_array_backend` approves
+        when the protocol declares one, upgrading to supersteps for
+        synchronous daemons.  Requests the capability cannot honour (no
+        kernel, no NumPy, states outside the codec's layout, supersteps
+        under a non-synchronous daemon) fall back to the next backend down —
+        never an error.
         """
         if trace not in {"full", "light"}:
             raise SimulationError(f"unknown trace mode {trace!r}")
-        if backend not in {"auto", "dict", "vector"}:
+        if backend not in {"auto", "dict", "vector", "vector-superstep"}:
             raise SimulationError(f"unknown engine backend {backend!r}")
         if backend != "dict":
             vector = self._vector_engine()
-            if vector is not None and (backend == "vector" or daemon.dense):
+            if vector is not None and (
+                backend in ("vector", "vector-superstep")
+                or prefers_array_backend(daemon, self._graph.n)
+            ):
                 encoded = vector.encode_initial(initial)
                 if encoded is not None:
+                    # Supersteps need a deterministic full-enabled-set
+                    # schedule; an explicit single-step "vector" request is
+                    # honoured as-is (benchmarks compare the two paths).
+                    if daemon.synchronous and backend != "vector":
+                        self.last_run_backend = "vector-superstep"
+                        return vector.run_supersteps(
+                            daemon=daemon,
+                            rng=rng,
+                            initial=initial,
+                            max_steps=max_steps,
+                            stop_when=stop_when,
+                            trace=trace,
+                            initial_array=encoded,
+                            superstep=superstep,
+                        )
                     self.last_run_backend = "vector"
                     return vector.run(
                         daemon=daemon,

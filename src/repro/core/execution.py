@@ -18,7 +18,27 @@ from ..types import VertexId, VertexStateLike
 from .protocol import ActivationRecord
 from .state import Configuration
 
-__all__ = ["Execution", "LazyActivations", "LazyConfigurationTrace"]
+__all__ = ["DeltaLog", "Execution", "LazyActivations", "LazyConfigurationTrace"]
+
+
+class DeltaLog(Sequence):
+    """Marker base for *lazily computed* per-action delta sequences.
+
+    :class:`LazyConfigurationTrace` normally copies the delta sequence it is
+    handed into a tuple (defensive against mutation).  A producer whose
+    deltas are themselves reconstructed on demand — the superstep path of
+    :class:`repro.core.vector.VectorEngine` replays them from periodic
+    state-array checkpoints — subclasses this marker so the trace keeps the
+    log as-is instead of materializing every delta dict up front.
+
+    Subclasses must implement ``__len__`` and integer ``__getitem__``
+    returning the ``{vertex: new_state}`` dict of the given action, must be
+    effectively immutable, and should make *sequential* access O(1)
+    amortized (``LazyConfigurationTrace.iter_from`` walks indices in
+    order).
+    """
+
+    __slots__ = ()
 
 
 class LazyActivations(Sequence):
@@ -114,7 +134,11 @@ class LazyConfigurationTrace(Sequence[Configuration]):
         initial: Configuration,
         deltas: Sequence[Dict[VertexId, VertexStateLike]],
     ) -> None:
-        self._deltas: Tuple[Dict[VertexId, VertexStateLike], ...] = tuple(deltas)
+        # Lazy delta logs stay as-is: tuple-izing one would force every
+        # delta to be reconstructed up front, defeating its purpose.
+        self._deltas: Sequence[Dict[VertexId, VertexStateLike]] = (
+            deltas if isinstance(deltas, DeltaLog) else tuple(deltas)
+        )
         self._cache: Dict[int, Configuration] = {0: initial}
 
     @classmethod

@@ -308,6 +308,7 @@ def measure_stabilization(
     check_liveness: bool = False,
     engine: str = "auto",
     trace: str = "full",
+    count_rounds: bool = True,
 ) -> StabilizationMeasurement:
     """Run one execution and measure its observed stabilization time.
 
@@ -334,6 +335,11 @@ def measure_stabilization(
         monitor reads live views and no configuration is materialized by
         the measurement itself; liveness checks (and any later trace
         inspection) reconstruct configurations on demand.
+    count_rounds:
+        When False, skip the O(steps·n) round count of the finished trace
+        and report ``rounds=0``.  Large-n sweeps that only need step counts
+        must disable it — on a 10⁴-vertex horizon the round walk would
+        dominate the (vectorized) run itself.
     """
     simulator = Simulator(
         protocol, daemon, rng=rng or random.Random(0), engine=engine, trace=trace
@@ -352,7 +358,7 @@ def measure_stabilization(
         liveness_ok=liveness_ok,
         execution_steps=execution.steps,
         terminal=execution.is_terminal,
-        rounds=execution.count_rounds(),
+        rounds=execution.count_rounds() if count_rounds else 0,
     )
 
 
@@ -367,6 +373,7 @@ def worst_case_stabilization(
     runs_per_configuration: int = 1,
     engine: str = "auto",
     trace: str = "full",
+    count_rounds: bool = True,
 ) -> WorstCaseStabilization:
     """Maximize the observed stabilization time over configurations and seeds.
 
@@ -394,6 +401,7 @@ def worst_case_stabilization(
                 check_liveness=check_liveness,
                 engine=engine,
                 trace=trace,
+                count_rounds=count_rounds,
             )
             measurements.append(measurement)
     return WorstCaseStabilization(measurements)

@@ -61,7 +61,7 @@ from ..exceptions import SimulationError
 from ..graphs import Graph
 from ..types import VertexId, VertexStateLike
 from .daemons import Daemon
-from .execution import Execution, LazyActivations
+from .execution import DeltaLog, Execution, LazyActivations
 from .protocol import ActivationRecord, Protocol
 from .rules import Rule
 from .state import Configuration
@@ -200,6 +200,63 @@ class GraphIndex:
 
         return np.bincount(self.edge_src[~edge_flags], minlength=self.n) == 0
 
+    # Subset (sparse-refresh) indexing: the same reductions restricted to
+    # the adjacency entries of a few rows, so kernels can re-evaluate guards
+    # for only the vertices a firing could have affected.
+    def subset_edges(self, rows):
+        """Adjacency entries of ``rows`` as ``(owner_ranks, neighbor_rows)``.
+
+        ``owner_ranks[e]`` is the *rank into ``rows``* (not the global row
+        position) owning entry ``e``; ``neighbor_rows[e]`` is the global row
+        position of the neighbour.  Rank-based ownership lets the subset
+        reductions below use length-``len(rows)`` bincounts.
+        """
+        import numpy as np
+
+        starts = self.indptr[rows]
+        stops = self.indptr[rows + 1]
+        counts = stops - starts
+        entries = _concat_ranges(starts, stops, counts)
+        owners = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
+        return owners, self.indices[entries]
+
+    def any_over_subset(self, owner_ranks, edge_flags, m):
+        """Per-rank ``any`` over subset adjacency entries (m = len(rows))."""
+        import numpy as np
+
+        return np.bincount(owner_ranks[edge_flags], minlength=m) > 0
+
+    def all_over_subset(self, owner_ranks, edge_flags, m):
+        """Per-rank ``all`` over subset adjacency entries (m = len(rows))."""
+        import numpy as np
+
+        return np.bincount(owner_ranks[~edge_flags], minlength=m) == 0
+
+    def dirty_rows(self, changed):
+        """``changed`` rows plus all their neighbours, sorted and unique.
+
+        Exactly the rows whose guards can differ after a firing that only
+        touched ``changed`` (guards are locally checkable by the protocol
+        model: a vertex reads its own and its neighbours' states).
+        """
+        import numpy as np
+
+        starts = self.indptr[changed]
+        stops = self.indptr[changed + 1]
+        neighbors = self.indices[_concat_ranges(starts, stops, stops - starts)]
+        return np.unique(np.concatenate((changed, neighbors)))
+
+
+def _concat_ranges(starts, stops, counts):
+    """Concatenation of ``arange(starts[i], stops[i])`` for every ``i``."""
+    import numpy as np
+
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.repeat(starts, counts) + (np.arange(total, dtype=np.int64) - offsets)
+
 
 class ArrayCodec(ABC):
     """Fixed-width integer encoding of per-vertex states.
@@ -309,6 +366,20 @@ class ArrayKernel(ABC):
     def fire(self, states, selected, rule_ids, index: GraphIndex):
         """``(len(selected), width)`` new state rows for ``selected``."""
 
+    def enabled_rules_for(self, states, rows, index: GraphIndex):
+        """Optional sparse capability: ``enabled_rules`` restricted to
+        ``rows`` (an int64 array of row positions), returning the
+        ``(len(rows),)`` first-enabled rule ids.
+
+        Must agree entry-for-entry with ``enabled_rules(states, index)[rows]``
+        — the engine patches only these entries of its cached rule-id array
+        after a sparse firing, so any divergence is silent state corruption.
+        The base implementation returns ``None``, meaning "unsupported":
+        the engine then always rescans the full array.
+        """
+        del states, rows, index
+        return None
+
 
 class ArrayStateView(Mapping[VertexId, VertexStateLike]):
     """A read-only *live* Mapping view of the vector engine's state array.
@@ -354,6 +425,22 @@ class ArrayStateView(Mapping[VertexId, VertexStateLike]):
     # Live views change under the caller's feet; hashing one would be a
     # correctness trap (same contract as ConfigurationView).
     __hash__ = None  # type: ignore[assignment]
+
+    @property
+    def vertex_order(self) -> Tuple[VertexId, ...]:
+        """Row position -> vertex id of :meth:`raw_states` (stable per engine)."""
+        return self._index.vertices
+
+    def raw_states(self):
+        """The live ``(n, width)`` int64 state array, row-aligned with
+        :attr:`vertex_order`.
+
+        Read-only contract: callers must neither mutate nor retain it (it
+        changes under their feet like the view itself).  This is the hook
+        array-aware predicates (e.g. the vectorized privilege count behind
+        ``MutualExclusionSpec.is_safe``) use to avoid decoding per vertex.
+        """
+        return self._states
 
     def as_dict(self) -> Dict[VertexId, VertexStateLike]:
         """A mutable copy of the current states."""
@@ -428,6 +515,222 @@ class _VectorAction(Sequence):
         return self._decoded()[position]
 
 
+class _SuperstepReplayer:
+    """Deterministic re-execution of a superstep run from its checkpoints.
+
+    The superstep path records only periodic state-array snapshots; every
+    per-step artefact (configurations, deltas, activation records) is
+    reconstructed on demand by replaying the kernel forward from the nearest
+    checkpoint at or before the requested index.  The kernel is a pure
+    function of the state array, so the replay is bit-identical to the
+    original run.
+
+    One mutable cursor (``_states``/``_rule_ids`` positioned at
+    configuration ``_at``) is kept; sequential access — the dominant pattern
+    through ``LazyConfigurationTrace.iter_from`` and aggregate walks — costs
+    one kernel step per index, and a random access costs at most one
+    checkpoint load plus ``superstep`` kernel steps.
+    """
+
+    __slots__ = (
+        "_codec",
+        "_kernel",
+        "_index",
+        "_checkpoints",
+        "_refresh",
+        "_at",
+        "_states",
+        "_rule_ids",
+    )
+
+    def __init__(self, codec, kernel, index, checkpoints, refresh) -> None:
+        self._codec = codec
+        self._kernel = kernel
+        self._index = index
+        #: step -> pristine state-array snapshot (never handed out).
+        self._checkpoints: Dict[int, object] = checkpoints
+        #: ``(rule_ids, states, selected, changed_rows) -> rule_ids`` — the
+        #: engine's (possibly sparse) guard-refresh, shared so replays take
+        #: the same fast paths as the original run.
+        self._refresh = refresh
+        self._at = -1
+        self._states = None
+        self._rule_ids = None
+
+    def _load(self, step: int) -> None:
+        self._states = self._checkpoints[step].copy()
+        self._rule_ids = self._kernel.enabled_rules(self._states, self._index)
+        self._at = step
+
+    def seek(self, step: int) -> None:
+        """Position the cursor on configuration ``step``."""
+        if self._at == step:
+            return
+        if self._at < 0 or step < self._at:
+            base = max(k for k in self._checkpoints if k <= step)
+            self._load(base)
+        else:
+            nearer = [k for k in self._checkpoints if self._at < k <= step]
+            if nearer:
+                self._load(max(nearer))
+        while self._at < step:
+            self._advance()
+
+    def _advance(self):
+        """Fire one synchronous step on the cursor; returns the step data
+        ``(selected, rule_ids, old_rows, new_rows)`` of the transition."""
+        import numpy as np
+
+        rule_ids = self._rule_ids
+        pos = np.flatnonzero(rule_ids != -1)
+        rids = rule_ids[pos]
+        old_rows = self._states[pos]
+        new_rows = self._kernel.fire(self._states, pos, rids, self._index)
+        changed_rows = np.any(new_rows != old_rows, axis=1)
+        if bool(changed_rows.any()):
+            self._states[pos] = new_rows
+            self._rule_ids = self._refresh(
+                rule_ids, self._states, pos, changed_rows
+            )
+        self._at += 1
+        return pos, rids, old_rows, new_rows
+
+    # -- accessors (all position the cursor as a side effect) --------------
+    def step_data(self, step: int):
+        """``(selected, rule_ids, old_rows, new_rows)`` of action ``step``.
+
+        All four arrays are fresh copies safe to retain; the cursor ends on
+        configuration ``step + 1`` so sequential action walks replay each
+        step exactly once.
+        """
+        self.seek(step)
+        return self._advance()
+
+    def states_at(self, step: int):
+        """The live cursor array at configuration ``step`` (do not retain)."""
+        self.seek(step)
+        return self._states
+
+    def configuration_at(self, step: int) -> Configuration:
+        """Configuration ``step`` as an immutable decoded snapshot."""
+        self.seek(step)
+        return Configuration._from_trusted_dict(
+            dict(zip(self._index.vertices, self._codec.decode(self._states)))
+        )
+
+    def view_at(self, step: int) -> ArrayStateView:
+        """A live :class:`ArrayStateView` of configuration ``step``.
+
+        Valid only until the cursor moves — consume immediately.
+        """
+        self.seek(step)
+        return ArrayStateView(self._index, self._states, self._codec)
+
+
+class _SuperstepActionLog(Sequence):
+    """Per-action :class:`_VectorAction` sequence reconstructed by replay.
+
+    The raw log handed to :class:`~repro.core.LazyActivations` by the
+    superstep path: ``log[i]`` replays action ``i`` through the shared
+    :class:`_SuperstepReplayer` and wraps its step data in the same
+    :class:`_VectorAction` the single-step path records eagerly.
+    """
+
+    __slots__ = ("_replayer", "_counts", "_vertices", "_names", "_codec")
+
+    def __init__(self, replayer, counts, vertices, names, codec) -> None:
+        self._replayer = replayer
+        self._counts = counts
+        self._vertices = vertices
+        self._names = names
+        self._codec = codec
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def _position_index(self, index: int) -> int:
+        if index < 0:
+            index += len(self._counts)
+        if not 0 <= index < len(self._counts):
+            raise IndexError(f"action index {index} out of range")
+        return index
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        index = self._position_index(index)
+        selected, rule_ids, old_rows, new_rows = self._replayer.step_data(index)
+        return _VectorAction(
+            selected, rule_ids, old_rows, new_rows,
+            self._vertices, self._names, self._codec,
+        )
+
+    def activated_positions(self, index: int):
+        """Row positions fired by action ``index`` (no state decoding)."""
+        return self._replayer.step_data(self._position_index(index))[0]
+
+
+class _SuperstepActivations(LazyActivations):
+    """:class:`LazyActivations` whose aggregates avoid replaying.
+
+    ``moves()`` reads the per-step selection counts the superstep loop
+    recorded as plain ints, and ``activated_vertices`` maps replayed row
+    positions straight to vertex ids without decoding any state — keeping
+    round counting on big-n light traces out of the codec entirely.
+    """
+
+    __slots__ = ()
+
+    def moves(self) -> int:
+        return sum(self._raw._counts)
+
+    def activated_vertices(self, index: int):
+        raw = self._raw
+        positions = raw.activated_positions(index)
+        return set(map(raw._vertices.__getitem__, positions.tolist()))
+
+
+class _SuperstepDeltaLog(DeltaLog):
+    """Per-action ``{vertex: new_state}`` deltas reconstructed by replay.
+
+    What the superstep path hands to :class:`LazyConfigurationTrace` in
+    light-trace mode — the :class:`~repro.core.DeltaLog` marker keeps the
+    trace from materializing every delta up front.
+    """
+
+    __slots__ = ("_log",)
+
+    def __init__(self, log: _SuperstepActionLog) -> None:
+        self._log = log
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __getitem__(self, index):
+        import numpy as np
+
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        log = self._log
+        selected, _rule_ids, old_rows, new_rows = log._replayer.step_data(
+            log._position_index(index)
+        )
+        changed_rows = np.any(new_rows != old_rows, axis=1)
+        if not bool(changed_rows.any()):
+            return {}
+        if bool(changed_rows.all()):
+            changed, changed_new = selected, new_rows
+        else:
+            changed = selected[changed_rows]
+            changed_new = new_rows[changed_rows]
+        return dict(
+            zip(
+                map(log._vertices.__getitem__, changed.tolist()),
+                log._codec.decode(changed_new),
+            )
+        )
+
+
 class VectorEngine:
     """Array-state runner with the :class:`IncrementalEngine` run contract.
 
@@ -439,7 +742,19 @@ class VectorEngine:
     steady state — unison under the synchronous daemon — it never does).
     """
 
-    __slots__ = ("_protocol", "_index", "_codec", "_kernel")
+    __slots__ = ("_protocol", "_index", "_codec", "_kernel", "_subset_refresh")
+
+    #: Default superstep cadence: K synchronous steps executed per kernel
+    #: block, and one state-array checkpoint retained per block boundary.
+    DEFAULT_SUPERSTEP = 64
+
+    #: Sparse-refresh density threshold: after a firing whose changed rows
+    #: plus their neighbourhood ("dirty" rows) cover less than
+    #: ``n / _SPARSE_REFRESH`` of the graph, guards are re-evaluated for the
+    #: dirty rows only (when the kernel declares ``enabled_rules_for``);
+    #: denser firings rescan the whole array, whose per-row constants are
+    #: lower.
+    _SPARSE_REFRESH = 2
 
     def __init__(
         self,
@@ -466,6 +781,9 @@ class VectorEngine:
         self._codec = codec
         self._kernel = kernel
         kernel.prepare(self._index)
+        self._subset_refresh = (
+            type(kernel).enabled_rules_for is not ArrayKernel.enabled_rules_for
+        )
 
     def encode_initial(self, initial: Configuration):
         """``initial`` as an ``(n, width)`` array, or None when it does not
@@ -600,7 +918,9 @@ class VectorEngine:
                     )
                 configurations.append(current)
             if any_change:
-                rule_ids = kernel.enabled_rules(states, index)
+                rule_ids = self._refresh_rule_ids(
+                    rule_ids, states, selected, changed_rows
+                )
 
         activations = LazyActivations(actions)
         if light:
@@ -612,6 +932,229 @@ class VectorEngine:
                 truncated=truncated,
                 deltas=deltas,
             )
+        return Execution(
+            configurations=configurations,
+            selections=selections,
+            activations=activations,
+            enabled_sets=enabled_sets,
+            truncated=truncated,
+        )
+
+    def _refresh_rule_ids(self, rule_ids, states, selected, changed_rows):
+        """Post-firing guard refresh: sparse when the firing was sparse.
+
+        Re-evaluates guards only for the changed rows and their neighbours
+        when the kernel declares the subset capability and the dirty set is
+        below the :attr:`_SPARSE_REFRESH` density threshold; otherwise (or
+        always, for subset-less kernels) rescans the full array.  Patches
+        ``rule_ids`` in place and returns it — entry-for-entry identical to
+        a full rescan by the ``enabled_rules_for`` exactness contract.
+        """
+        kernel = self._kernel
+        index = self._index
+        n = index.n
+        # Quick pre-check before building the dirty set: a selection this
+        # large cannot have a sub-threshold neighbourhood.
+        if not self._subset_refresh or int(selected.size) * 6 >= n:
+            return kernel.enabled_rules(states, index)
+        changed = selected if bool(changed_rows.all()) else selected[changed_rows]
+        dirty = index.dirty_rows(changed)
+        if int(dirty.size) * self._SPARSE_REFRESH >= n:
+            return kernel.enabled_rules(states, index)
+        rule_ids[dirty] = kernel.enabled_rules_for(states, dirty, index)
+        return rule_ids
+
+    def run_supersteps(
+        self,
+        daemon: Daemon,
+        rng,
+        initial: Configuration,
+        max_steps: int,
+        stop_when: Optional[Callable[[Configuration, int], bool]] = None,
+        trace: str = "full",
+        initial_array=None,
+        superstep: Optional[int] = None,
+    ) -> Execution:
+        """Run up to ``max_steps`` *synchronous* actions in kernel blocks.
+
+        Same contract — and bit-identical observable executions — as
+        :meth:`run` under a synchronous daemon, but executes ``superstep``
+        (default :attr:`DEFAULT_SUPERSTEP`) steps per block as pure array
+        operations: no daemon call, no per-step trace recording, no per-step
+        ``stop_when``.  What makes that sound is ``daemon.synchronous``: the
+        selection of every step is the full enabled set, so the schedule is
+        deterministic and there is no per-step decision to consult.
+
+        * **Traces** record one state-array checkpoint per block boundary;
+          per-step configurations, deltas and activation records are
+          reconstructed on demand by replaying the (deterministic) kernel
+          from the nearest checkpoint (:class:`_SuperstepReplayer`), so
+          memory stays O(n · steps / superstep) instead of O(n · steps).
+        * **stop_when** is evaluated in batch at block boundaries: a second
+          cursor replays the block's configurations strictly in order,
+          handing each to the predicate with its exact step index — so
+          stateful in-order observers (``SafetyMonitor``) work unchanged —
+          and a trigger at step ``t`` rolls the recorded run back to exactly
+          the prefix the single-step engine would have kept.
+        * **Terminal detection** stays in-kernel: an empty enabled mask ends
+          the block early (``truncated=False``), and a fixed point (enabled
+          vertices whose firing changes nothing) fast-forwards the remaining
+          budget without further kernel work when no ``stop_when`` needs
+          per-index evaluation.
+        """
+        import numpy as np
+
+        if trace not in {"full", "light"}:
+            raise SimulationError(f"unknown trace mode {trace!r}")
+        if not daemon.synchronous:
+            raise SimulationError(
+                "run_supersteps requires a synchronous daemon: batched "
+                "superstep execution skips per-step daemon selection"
+            )
+        if superstep is None:
+            superstep = self.DEFAULT_SUPERSTEP
+        if superstep < 1:
+            raise SimulationError(f"superstep cadence must be >= 1, got {superstep}")
+        states = (
+            initial_array if initial_array is not None else self.encode_initial(initial)
+        )
+        if states is None:
+            raise SimulationError(
+                "initial configuration does not fit the protocol's array codec"
+            )
+        index = self._index
+        codec = self._codec
+        kernel = self._kernel
+        vertices = index.vertices
+        light = trace == "light"
+
+        enabled_sets: List[FrozenSet[VertexId]] = []
+        step_counts: List[int] = []
+        checkpoints: Dict[int, object] = {0: states.copy()}
+        replayer = _SuperstepReplayer(
+            codec, kernel, index, checkpoints, self._refresh_rule_ids
+        )
+        # The boundary stop_when scan keeps its own strictly sequential
+        # cursor so the main loop's state array (which runs ahead of the
+        # scanned index) is never observed by the predicate.
+        scanner = (
+            _SuperstepReplayer(codec, kernel, index, checkpoints, self._refresh_rule_ids)
+            if stop_when is not None
+            else None
+        )
+        scanned_to = -1
+
+        def scan_until(limit: int) -> Optional[int]:
+            """First index in ``scanned_to+1 .. limit`` where ``stop_when``
+            fires (observing replayed configurations in order), or None."""
+            nonlocal scanned_to
+            while scanned_to < limit:
+                target = scanned_to + 1
+                observed = (
+                    scanner.view_at(target)
+                    if light
+                    else scanner.configuration_at(target)
+                )
+                if stop_when(observed, target):
+                    return target
+                scanned_to = target
+            return None
+
+        steps = 0
+        truncated = True
+        rule_ids = kernel.enabled_rules(states, index)
+        mask_cached = None
+        enabled_fs: FrozenSet[VertexId] = frozenset()
+        enabled_pos = None
+        stop_at: Optional[int] = None
+        while True:
+            mask = rule_ids != -1
+            if mask_cached is None or not np.array_equal(mask, mask_cached):
+                mask_cached = mask
+                enabled_pos = np.flatnonzero(mask)
+                if enabled_pos.size == index.n:
+                    enabled_fs = frozenset(vertices)
+                else:
+                    enabled_fs = frozenset(
+                        map(vertices.__getitem__, enabled_pos.tolist())
+                    )
+            enabled_sets.append(enabled_fs)
+            # Batched stop_when: at each block boundary (and at entry, for
+            # index 0) replay the block just executed strictly in order and
+            # hand every configuration to the predicate with its exact step
+            # index.  Scanning *after* recording the boundary's enabled set
+            # keeps rollback prefixes complete.
+            if stop_when is not None and steps % superstep == 0:
+                stop_at = scan_until(steps)
+                if stop_at is not None:
+                    break
+            if not enabled_fs:
+                truncated = False
+                break
+            if steps == max_steps:
+                truncated = True
+                break
+            rids = rule_ids[enabled_pos]
+            old_rows = states[enabled_pos]  # fancy indexing copies: atomic snapshot
+            new_rows = kernel.fire(states, enabled_pos, rids, index)
+            changed_rows = np.any(new_rows != old_rows, axis=1)
+            any_change = bool(changed_rows.any())
+            if any_change:
+                states[enabled_pos] = new_rows
+                rule_ids = self._refresh_rule_ids(
+                    rule_ids, states, enabled_pos, changed_rows
+                )
+            step_counts.append(int(enabled_pos.size))
+            steps += 1
+            if not any_change and stop_when is None:
+                # Fixed point: enabled vertices whose firing changes nothing.
+                # Every remaining step is this exact step — record it
+                # wholesale instead of spinning the kernel.
+                checkpoints[steps] = states.copy()
+                remaining = max_steps - steps
+                enabled_sets.extend([enabled_fs] * remaining)
+                step_counts.extend([step_counts[-1]] * remaining)
+                steps = max_steps
+                enabled_sets.append(enabled_fs)
+                truncated = True
+                break
+            if steps % superstep == 0:
+                checkpoints[steps] = states.copy()
+        if stop_when is not None and stop_at is None:
+            # Scan the tail block (terminal, budget-exhausted, or partial).
+            stop_at = scan_until(steps)
+        if stop_at is not None:
+            # Roll back to exactly the prefix the single-step engine keeps
+            # when stop_when fires at stop_at: stop_at completed steps, the
+            # enabled set of stop_at recorded, truncated.
+            steps = stop_at
+            truncated = True
+            del enabled_sets[steps + 1 :]
+            del step_counts[steps:]
+            for key in [k for k in checkpoints if k > steps]:
+                del checkpoints[key]
+
+        selections = enabled_sets[:steps]
+        action_log = _SuperstepActionLog(
+            replayer, step_counts, vertices, kernel.rule_names, codec
+        )
+        activations = _SuperstepActivations(action_log)
+        if light:
+            return Execution.from_activations(
+                initial=initial,
+                selections=selections,
+                activations=activations,
+                enabled_sets=enabled_sets,
+                truncated=truncated,
+                deltas=_SuperstepDeltaLog(action_log),
+            )
+        configurations: List[Configuration] = [initial]
+        current = initial
+        for step_index in range(steps):
+            _selected, _rids, old_rows, new_rows = replayer.step_data(step_index)
+            if bool(np.any(new_rows != old_rows)):
+                current = replayer.configuration_at(step_index + 1)
+            configurations.append(current)
         return Execution(
             configurations=configurations,
             selections=selections,

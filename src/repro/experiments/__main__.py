@@ -41,10 +41,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fan the theorem2/theorem3 trial sweeps across this many "
         "processes (results are identical; default: sequential)",
     )
+    parser.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        help="cap the sweep sizes of the theorem2/theorem3/dijkstra "
+        "drivers (e.g. --max-n 100 skips the n >= 1000 superstep rows; "
+        "default: run the full sweeps up to n = 10000)",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="override the per-graph step budget of the theorem2/theorem3 "
+        "drivers (default: per-graph, one clock period for small graphs, "
+        "a few Theorem 2 bounds in the large-n safety-only regime)",
+    )
     args = parser.parse_args(argv)
 
     selected: Optional[List[str]] = list(args.experiments) or None
-    reports = run_all_experiments(only=selected, workers=args.workers)
+    reports = run_all_experiments(
+        only=selected,
+        workers=args.workers,
+        max_n=args.max_n,
+        horizon=args.horizon,
+    )
     for report in reports:
         print(report.to_text())
         print()

@@ -42,20 +42,31 @@ EXPERIMENT_DRIVERS: Dict[str, Callable[[], ExperimentReport]] = {
 def run_all_experiments(
     only: Optional[Sequence[str]] = None,
     workers: Optional[int] = None,
+    max_n: Optional[int] = None,
+    horizon: Optional[int] = None,
 ) -> List[ExperimentReport]:
     """Run every experiment driver (or the subset named in ``only``).
 
     ``workers`` is forwarded to the drivers that support process-parallel
     sweeps (theorem2/theorem3); the others ignore it.  Reported numbers
-    are identical for any value.
+    are identical for any value.  ``max_n`` caps the sweep sizes of the
+    drivers that accept it (theorem2/theorem3/dijkstra — the CLI's
+    ``--max-n``, e.g. ``--max-n 100`` to skip the large superstep rows)
+    and ``horizon`` overrides their per-graph step budgets; each is
+    forwarded by signature inspection like ``workers``.
     """
     selected = list(only) if only is not None else list(EXPERIMENT_DRIVERS)
     reports = []
     for experiment_id in selected:
         driver = EXPERIMENT_DRIVERS[experiment_id]
+        parameters = inspect.signature(driver).parameters
         kwargs = {}
-        if workers and "workers" in inspect.signature(driver).parameters:
+        if workers and "workers" in parameters:
             kwargs["workers"] = workers
+        if max_n is not None and "max_n" in parameters:
+            kwargs["max_n"] = max_n
+        if horizon is not None and "horizon" in parameters:
+            kwargs["horizon"] = horizon
         reports.append(driver(**kwargs))
     return reports
 

@@ -45,14 +45,18 @@ __all__ = ["run_experiment", "DEFAULT_SWEEP", "DEFAULT_DAEMON_FACTORIES", "EXPER
 
 EXPERIMENT_ID = "E4"
 
-#: Default (topology, size) sweep — smaller than E3 because asynchronous
-#: runs take many more steps per execution.
+#: Default (topology, size) sweep — smaller than E3 because the
+#: adversarial schedulers are sequential (one vertex per action), so each
+#: execution takes Θ(n·(alpha+diam)) Python-side steps regardless of the
+#: array backends.  Raised to n=12 now that the mid-density distributed
+#: daemon rides the vectorized sparse refresh.
 DEFAULT_SWEEP: Tuple[Tuple[str, int], ...] = (
     ("ring", 5),
     ("ring", 7),
     ("path", 6),
     ("star", 6),
     ("grid", 9),
+    ("ring", 12),
 )
 
 #: The adversarial schedulers whose maximum stands in for the unfair daemon.
@@ -82,6 +86,7 @@ def _run_unfair_trial(
     items: tuple,
     seed: int,
     engine: str,
+    horizon: Optional[int] = None,
 ) -> Tuple[Optional[int], Optional[int]]:
     """One (daemon, initial, seed) trial: ``(unison_steps, mutex_steps)``."""
     simulator = Simulator(
@@ -106,7 +111,7 @@ def _run_unfair_trial(
     )
     simulator.run(
         protocol.configuration(dict(items)),
-        max_steps=_unfair_horizon(protocol),
+        max_steps=horizon if horizon is not None else _unfair_horizon(protocol),
         stop_when=monitor.observe,
     )
     return (
@@ -118,7 +123,7 @@ def _run_unfair_trial(
 def _measure_unfair_trial(task) -> Tuple[Optional[int], Optional[int]]:
     """Picklable worker: rebuilds protocol (with its specs) and daemon from
     primitive parameters — neither can cross a process boundary."""
-    topology, size, daemon_name, items, seed, engine = task
+    topology, size, daemon_name, items, seed, engine, horizon = task
     protocol = SSME(make_topology(topology, size))
     # The Theorem 3 bound is inherited from the unison's step complexity
     # (Devismes & Petit), so the underlying spec_AU convergence is the
@@ -132,6 +137,7 @@ def _measure_unfair_trial(task) -> Tuple[Optional[int], Optional[int]]:
         items,
         seed,
         engine,
+        horizon,
     )
 
 
@@ -143,6 +149,8 @@ def run_experiment(
     seed: int = 0,
     engine: str = "auto",
     workers: Optional[int] = None,
+    max_n: Optional[int] = None,
+    horizon: Optional[int] = None,
 ) -> ExperimentReport:
     """Measure SSME's stabilization under unfair-style schedulers.
 
@@ -151,9 +159,13 @@ def run_experiment(
     from :data:`DEFAULT_DAEMON_FACTORIES`; when custom ``daemon_factories``
     are supplied the sweep therefore runs sequentially (factories hold
     closures and cannot cross process boundaries).  Reported numbers are
-    identical for any ``workers`` value.
+    identical for any ``workers`` value.  ``max_n`` drops sweep entries
+    larger than that size; ``horizon`` overrides the per-graph step budget
+    (the default is Θ(n·(alpha+diam)), far below the cubic bound).
     """
     sweep = list(sweep) if sweep is not None else list(DEFAULT_SWEEP)
+    if max_n is not None:
+        sweep = [(topology, size) for topology, size in sweep if size <= max_n]
     daemon_factories = (
         list(daemon_factories)
         if daemon_factories is not None
@@ -189,6 +201,7 @@ def run_experiment(
                             tuple(initial.items()),
                             rng.randrange(2**63),
                             engine,
+                            horizon,
                         )
                     )
         graphs.append(
@@ -217,7 +230,8 @@ def run_experiment(
             mutex_specification = MutualExclusionSpec(protocol)
             unison_specification = AsynchronousUnisonSpec(protocol)
             first, last = info["tasks"]
-            for _t, _s, daemon_name, items, task_seed, task_engine in tasks[first:last]:
+            for task in tasks[first:last]:
+                _t, _s, daemon_name, items, task_seed, task_engine, task_horizon = task
                 results.append(
                     _run_unfair_trial(
                         protocol,
@@ -227,6 +241,7 @@ def run_experiment(
                         items,
                         task_seed,
                         task_engine,
+                        task_horizon,
                     )
                 )
 

@@ -13,6 +13,7 @@ from .construction import (
 from .witness import (
     adversarial_mutex_configurations,
     default_spliced_delays,
+    delayed_double_privilege_configuration,
     farthest_vertex_pairs,
     immediate_double_privilege_configuration,
     latest_violation_configuration,
@@ -25,6 +26,7 @@ __all__ = [
     "check_local_indistinguishability",
     "construct_double_privilege_witness",
     "default_spliced_delays",
+    "delayed_double_privilege_configuration",
     "farthest_vertex_pairs",
     "find_privileged_step",
     "immediate_double_privilege_configuration",

@@ -23,6 +23,7 @@ from .construction import construct_double_privilege_witness
 
 __all__ = [
     "immediate_double_privilege_configuration",
+    "delayed_double_privilege_configuration",
     "latest_violation_configuration",
     "farthest_vertex_pairs",
     "default_spliced_delays",
@@ -120,6 +121,70 @@ def immediate_double_privilege_configuration(
             assignment[w] = clock.phi(base)
     assignment[u] = privileged_value(u)
     assignment[v] = privileged_value(v)
+    return protocol.configuration(assignment)
+
+
+def delayed_double_privilege_configuration(
+    protocol: Protocol,
+    t: int,
+    pair: Optional[Tuple[VertexId, VertexId]] = None,
+) -> Configuration:
+    """A configuration whose synchronous execution violates safety at
+    exactly step ``t`` — the Theorem 4 witness shape, built analytically in
+    O(n) instead of by splicing recorded executions.
+
+    Construction: two *coherent balls* of radius ``t`` around far-apart
+    vertices ``u`` and ``v``, every ball vertex holding the constant value
+    ``privileged_value(center) - t``, and incoherent filler (the initial
+    value ``-1``) everywhere else.  Under the synchronous daemon a ball
+    interior ticks in lockstep (all-equal neighbourhoods satisfy ``NA``)
+    while the incoherence front at the ball surface resets inward exactly
+    one hop per step — so each center ticks undisturbed for ``t`` steps and
+    the two centers land on their privileged values *simultaneously* at
+    step ``t``.  No other simultaneous privileges can occur later: a
+    surviving ball vertex ``w`` would need ``s - t ≡ 2·diam·(id_w -
+    id_center) (mod K)``, impossible for ``s - t < 2·diam``.  The measured
+    stabilization time from this configuration is therefore ``t + 1``; at
+    ``t = ⌈diam/2⌉ - 1`` it meets the Theorem 2 bound exactly.
+
+    Unlike :func:`latest_violation_configuration` this never runs an
+    execution and never computes the graph diameter, so it scales to the
+    ``n = 10⁴⁺`` topologies of the superstep regime.  The balls must not
+    overlap: requires ``distance(u, v) > 2·t``.
+    """
+    privileged_value = getattr(protocol, "privileged_value", None)
+    if privileged_value is None:
+        raise ConstructionError(
+            "delayed_double_privilege_configuration needs a protocol with "
+            "per-vertex privileged values (SSME)"
+        )
+    if t < 0:
+        raise ConstructionError(f"violation delay must be >= 0, got {t}")
+    graph = protocol.graph
+    u, v = pair if pair is not None else diameter_endpoints(graph)
+    if u == v:
+        raise ConstructionError("the two privileged vertices must differ")
+    du = graph.bfs_distances(u)
+    dv = graph.bfs_distances(v)
+    if du[v] <= 2 * t:
+        raise ConstructionError(
+            f"radius-{t} balls around {u!r} and {v!r} overlap "
+            f"(distance {du[v]} <= {2 * t}); pick a farther pair or a "
+            "smaller delay"
+        )
+    ball_u = privileged_value(u) - t
+    ball_v = privileged_value(v) - t
+    assignment = {}
+    for w in graph.vertices:
+        if du[w] <= t:
+            assignment[w] = ball_u
+        elif dv[w] <= t:
+            assignment[w] = ball_v
+        else:
+            # -1 lies outside [0, K), so every ball-surface vertex sees an
+            # out-of-range neighbour and takes RA — the front starts moving
+            # on the very first step.
+            assignment[w] = -1
     return protocol.configuration(assignment)
 
 

@@ -51,6 +51,15 @@ class DijkstraArrayKernel(ArrayKernel):
         enabled[bottom] = not differs[bottom]
         return np.where(enabled, 0, np.int64(-1))
 
+    def enabled_rules_for(self, states, rows, index: GraphIndex):
+        """Subset guard evaluation for the vectorized sparse refresh —
+        identical to ``enabled_rules(states, index)[rows]``, touching only
+        the predecessors of ``rows``."""
+        s = states[:, 0]
+        differs = s[rows] != s[self._pred_pos[rows]]
+        enabled = np.where(rows == self._bottom_pos, ~differs, differs)
+        return np.where(enabled, np.int64(0), np.int64(-1))
+
     def fire(self, states, selected, rule_ids, index: GraphIndex):
         s = states[:, 0]
         new = s[self._pred_pos[selected]]

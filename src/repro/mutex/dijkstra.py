@@ -80,6 +80,9 @@ class DijkstraTokenRing(Protocol, PrivilegeAware):
         self._ring_order = self._compute_ring_order()
         self._predecessor = self._compute_predecessors()
         self._rules = [Rule(self.RULE_MOVE, self._guard, self._action)]
+        # (vertex_order, pred positions, bottom row) cache for
+        # privileged_count_array.
+        self._array_privilege = None
 
     @classmethod
     def on_ring(cls, n: int, K: Optional[int] = None) -> "DijkstraTokenRing":
@@ -197,6 +200,33 @@ class DijkstraTokenRing(Protocol, PrivilegeAware):
         if vertex == self._bottom:
             return configuration[vertex] == predecessor_state
         return configuration[vertex] != predecessor_state
+
+    def privileged_count_array(self, view) -> int:
+        """Number of privileged vertices of a live array-state view.
+
+        Vectorized privilege count for the
+        :class:`~repro.core.vector.ArrayStateView` the array backends hand
+        to ``stop_when`` predicates under light traces: one gather against
+        the cached predecessor-position vector (non-bottom machines are
+        privileged iff their counter differs from their predecessor's, the
+        bottom machine iff it matches).
+        """
+        import numpy as np
+
+        order = view.vertex_order
+        cached = self._array_privilege
+        if cached is None or cached[0] is not order:
+            position = {v: i for i, v in enumerate(order)}
+            pred = np.fromiter(
+                (position[self._predecessor[v]] for v in order),
+                dtype=np.int64,
+                count=len(order),
+            )
+            self._array_privilege = cached = (order, pred, position[self._bottom])
+        s = view.raw_states()[:, 0]
+        differs = s != s[cached[1]]
+        count = int(np.count_nonzero(differs))
+        return count - 1 if differs[cached[2]] else count + 1
 
     def legitimate_configuration(self, value: int = 0) -> Configuration:
         """The canonical legitimate configuration: every counter equal."""

@@ -33,6 +33,10 @@ from ..unison import AsynchronousUnison
 
 __all__ = ["SSME", "ssme_clock_size", "ssme_privileged_value"]
 
+#: Largest ``n`` at which a supplied ``diam`` is cross-checked against the
+#: O(n²) exact diameter; larger instances trust the caller's constant.
+_DIAM_VALIDATION_LIMIT = 512
+
 
 def ssme_clock_size(n: int, diam: int) -> int:
     """The clock cycle length ``K = (2n - 1)(diam + 1) + 2`` of Algorithm 1."""
@@ -60,7 +64,12 @@ class SSME(AsynchronousUnison, PrivilegeAware):
         Dijkstra's protocol).
     diam:
         The diameter of ``graph``.  The paper treats it as a known constant
-        of the system; when omitted it is computed from the graph.
+        of the system; when omitted it is computed from the graph.  A
+        supplied value is cross-checked against the computed diameter only
+        up to ``n = 512`` — beyond that the O(n²) BFS sweep would dominate
+        construction, so the caller's constant is trusted (exactly the
+        paper's stance: ``diam(g)`` is a system parameter, not something
+        the protocol measures).
 
     Examples
     --------
@@ -76,11 +85,15 @@ class SSME(AsynchronousUnison, PrivilegeAware):
 
     def __init__(self, graph: Graph, diam: Optional[int] = None) -> None:
         computed_diam = diameter(graph) if diam is None else diam
-        if diam is not None and diam != diameter(graph):
-            raise ProtocolError(
-                f"supplied diameter {diam} does not match the graph diameter "
-                f"{diameter(graph)}"
-            )
+        if diam is not None and graph.n <= _DIAM_VALIDATION_LIMIT:
+            actual = diameter(graph)
+            if diam != actual:
+                raise ProtocolError(
+                    f"supplied diameter {diam} does not match the graph "
+                    f"diameter {actual}"
+                )
+        elif diam is not None and diam < 0:
+            raise ProtocolError(f"diameter must be >= 0, got {diam}")
         n = graph.n
         # alpha = n >= hole(g) - 2 and K > n >= cyclo(g) always hold, so the
         # expensive exact parameter validation of the unison base class is
@@ -97,6 +110,8 @@ class SSME(AsynchronousUnison, PrivilegeAware):
             vertex: ssme_privileged_value(n, computed_diam, identity)
             for vertex, identity in self._identities.items()
         }
+        # (vertex_order, pv row vector) cache for privileged_count_array.
+        self._pv_rows = None
 
     @staticmethod
     def _assign_identities(graph: Graph) -> Dict[VertexId, int]:
@@ -159,3 +174,25 @@ class SSME(AsynchronousUnison, PrivilegeAware):
             for v in self.graph.vertices
             if configuration[v] == self._privileged_values[v]
         )
+
+    def privileged_count_array(self, view) -> int:
+        """Number of privileged vertices of a live array-state view.
+
+        Vectorized equivalent of ``len(privileged_vertices(view))`` for the
+        :class:`~repro.core.vector.ArrayStateView` the array backends hand
+        to ``stop_when`` predicates under light traces — one whole-array
+        comparison against the cached per-row privileged values instead of
+        ``n`` mapping lookups.
+        """
+        import numpy as np
+
+        order = view.vertex_order
+        cached = self._pv_rows
+        if cached is None or cached[0] is not order:
+            pv = np.fromiter(
+                (self._privileged_values[v] for v in order),
+                dtype=np.int64,
+                count=len(order),
+            )
+            self._pv_rows = cached = (order, pv)
+        return int(np.count_nonzero(view.raw_states()[:, 0] == cached[1]))

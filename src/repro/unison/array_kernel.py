@@ -87,6 +87,45 @@ class UnisonArrayKernel(ArrayKernel):
         rule_ids[na] = 0
         return rule_ids
 
+    def enabled_rules_for(self, states, rows, index: GraphIndex):
+        """Subset guard evaluation for the vectorized sparse refresh.
+
+        Entry-for-entry identical to ``enabled_rules(states, index)[rows]``
+        (pinned by ``tests/test_vector_kernel.py``), but touches only the
+        adjacency entries of ``rows`` — every gather below is sized by the
+        subset's edges, never by ``n``.
+        """
+        s_all = states[:, 0]
+        K = self._K
+        alpha = self._alpha
+        s = s_all[rows]
+        owners, neighbor_rows = index.subset_edges(rows)
+        rv = s[owners]
+        ru = s_all[neighbor_rows]
+        d = rv - ru
+        m = rows.size
+
+        in_range = (s >= 0) & (s < K)
+        ru_in_range = (ru >= 0) & (ru < K)
+
+        na_edge_ok = ru_in_range & ((d == 0) | (d == -1) | (d == K - 1))
+        na = in_range & index.all_over_subset(owners, na_edge_ok, m)
+
+        ca_edge_ok = (ru <= 0) & (rv <= ru)
+        ca = (s >= -alpha) & (s < 0) & index.all_over_subset(owners, ca_edge_ok, m)
+
+        initial = (s >= -alpha) & (s <= 0)
+        ra_edge_bad = ~ru_in_range | ~(
+            (d == 0) | (d == 1) | (d == -1) | (d == K - 1) | (d == 1 - K)
+        )
+        ra = ~initial & (~in_range | index.any_over_subset(owners, ra_edge_bad, m))
+
+        rule_ids = np.full(m, -1, dtype=np.int64)
+        rule_ids[ra] = 2
+        rule_ids[ca] = 1
+        rule_ids[na] = 0
+        return rule_ids
+
     def fire(self, states, selected, rule_ids, index: GraphIndex):
         s = states[selected, 0]
         # phi: increment up the tail (negative values), around the cycle

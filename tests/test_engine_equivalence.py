@@ -136,6 +136,8 @@ EQUIVALENCE_MODES = (
     ("incremental", "light"),
     ("vector", "full"),
     ("vector", "light"),
+    ("vector-superstep", "full"),
+    ("vector-superstep", "light"),
 )
 
 
@@ -290,7 +292,7 @@ def test_engines_agree_with_stop_when(protocol_name, daemon_name, seed, threshol
         return execution, seen
 
     reference, seen_reference = runner("reference", "full")
-    for engine in ("incremental", "vector"):
+    for engine in ("incremental", "vector", "vector-superstep"):
         light, seen_light = runner(engine, "light")
         assert seen_light == seen_reference
         assert light.steps == reference.steps
@@ -393,7 +395,7 @@ class TestNoNumpyFallback:
 
         monkeypatch.setitem(sys.modules, "numpy", None)
         assert not numpy_available()
-        for engine in ("vector", "auto"):
+        for engine in ("vector", "vector-superstep", "auto"):
             simulator = Simulator(
                 protocol, SynchronousDaemon(), rng=random.Random(4), engine=engine
             )
@@ -419,10 +421,36 @@ class TestNoNumpyFallback:
         pytest.importorskip("numpy")
         protocol = self._protocol()
         initial = protocol.random_configuration(random.Random(3))
+        # auto + synchronous daemon + kernel → batched supersteps.
         simulator = Simulator(protocol, SynchronousDaemon(), rng=random.Random(4))
-        assert simulator.engine == "vector"  # auto + dense daemon + kernel
+        assert simulator.engine == "vector-superstep"
         simulator.run(initial, max_steps=10)
-        assert simulator.last_run_backend == "vector"
+        assert simulator.last_run_backend == "vector-superstep"
+        # auto + dense-but-random daemon → single-step vector (selections
+        # are not deterministic, so supersteps do not apply).
+        dense = Simulator(
+            protocol, DistributedDaemon(0.9), rng=random.Random(4)
+        )
+        assert dense.engine == "vector"
+        dense.run(initial, max_steps=10)
+        assert dense.last_run_backend == "vector"
+        # An explicit single-step request is honoured even for a
+        # synchronous daemon (benchmarks compare the two paths).
+        single = Simulator(
+            protocol, SynchronousDaemon(), rng=random.Random(4), engine="vector"
+        )
+        assert single.engine == "vector"
+        single.run(initial, max_steps=10)
+        assert single.last_run_backend == "vector"
+        # An explicit superstep request under a non-synchronous daemon
+        # degrades to the single-step vector backend.
+        degraded = Simulator(
+            protocol,
+            DistributedDaemon(0.9),
+            rng=random.Random(4),
+            engine="vector-superstep",
+        )
+        assert degraded.engine == "vector"
         # Sparse daemons keep the dirty-set paths under auto selection.
         sparse = Simulator(protocol, CentralDaemon(), rng=random.Random(4))
         assert sparse.engine == "incremental"

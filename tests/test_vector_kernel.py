@@ -377,7 +377,8 @@ class TestBackendSelection:
 
     def test_auto_selection_is_daemon_density_aware(self):
         protocol = AsynchronousUnison(ring_graph(8), validate_parameters=False)
-        assert Simulator(protocol, SynchronousDaemon()).engine == "vector"
+        # Synchronous daemons take the batched superstep loop under auto.
+        assert Simulator(protocol, SynchronousDaemon()).engine == "vector-superstep"
         assert Simulator(protocol, CentralDaemon()).engine == "incremental"
         # Protocols without the capability resolve to incremental even for
         # dense daemons.
@@ -385,3 +386,15 @@ class TestBackendSelection:
 
         matching = MaximalMatching(ring_graph(8))
         assert Simulator(matching, SynchronousDaemon()).engine == "incremental"
+
+    def test_auto_selection_routes_mid_density_daemons_at_scale(self):
+        """p >= 0.2 daemons take the array backend once n is large enough
+        for the vectorized sparse refresh to win (prefers_array_backend)."""
+        from repro.core import DistributedDaemon
+
+        small = AsynchronousUnison(ring_graph(16), validate_parameters=False)
+        assert Simulator(small, DistributedDaemon(0.4)).engine == "incremental"
+        big = AsynchronousUnison(ring_graph(512), validate_parameters=False)
+        assert Simulator(big, DistributedDaemon(0.4)).engine == "vector"
+        # Below the density floor the dirty-set engine keeps the run.
+        assert Simulator(big, DistributedDaemon(0.05)).engine == "incremental"
