@@ -71,6 +71,7 @@ from .verify import (
     exact_worst_case_stabilization,
     verify_stabilization,
 )
+from .jobs import Dispatcher, JobSpec, ResultStore, WorkerPool
 from .exceptions import ReproError
 
 __version__ = "1.0.0"
@@ -86,9 +87,11 @@ __all__ = [
     "Configuration",
     "Daemon",
     "DijkstraTokenRing",
+    "Dispatcher",
     "DistributedDaemon",
     "Execution",
     "Graph",
+    "JobSpec",
     "LocallyCentralDaemon",
     "MaximalMatching",
     "MaximalMatchingSpec",
@@ -96,6 +99,7 @@ __all__ = [
     "PrivilegeAware",
     "Protocol",
     "ReproError",
+    "ResultStore",
     "RoundRobinCentralDaemon",
     "Rule",
     "SSME",
@@ -104,6 +108,7 @@ __all__ = [
     "Specification",
     "StarvationDaemon",
     "SynchronousDaemon",
+    "WorkerPool",
     "__version__",
     "exact_speculation_gap",
     "exact_worst_case_stabilization",

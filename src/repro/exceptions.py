@@ -52,6 +52,13 @@ class ExperimentError(ReproError):
     """Raised by the experiment harness on invalid experiment parameters."""
 
 
+class JobError(ReproError):
+    """Raised by the job service layer (:mod:`repro.jobs`): malformed job
+    specs, unresolvable runners, or a worker-pool task failure (in which
+    case the message carries the task index and a ``repr`` of the task,
+    and ``__cause__`` is the original worker exception)."""
+
+
 class VerificationError(ReproError):
     """Raised by the exact model checker (:mod:`repro.verify`) when an
     instance cannot be verified exactly (missing ``vertex_state_space``

@@ -16,12 +16,14 @@ from . import (
 )
 from .reporting import (
     EXPERIMENT_DRIVERS,
+    ExperimentDriver,
     render_experiments_markdown,
     run_all_experiments,
 )
 
 __all__ = [
     "EXPERIMENT_DRIVERS",
+    "ExperimentDriver",
     "ExperimentReport",
     "FAULT_MODELS",
     "ablation_privilege_spacing",

@@ -6,6 +6,22 @@ Usage::
     python -m repro.experiments E3 E5           # run a subset
     python -m repro.experiments --write PATH    # also write the Markdown report to PATH
                                                 # (use EXPERIMENTS.md at the repo root)
+
+Caching and resume (job-based drivers E3/E4/E6/E8)::
+
+    python -m repro.experiments --cache .repro-cache   # content-addressed result cache:
+                                                       # repeats re-simulate nothing and an
+                                                       # interrupted run resumes from its
+                                                       # completed jobs — just re-run it
+    python -m repro.experiments --no-cache             # escape hatch: run everything fresh
+    python -m repro.experiments --refresh              # recompute and rewrite cache entries
+    python -m repro.experiments --progress             # stream per-job progress to stderr
+
+Cache inspection::
+
+    python -m repro.experiments jobs list              # cached job results
+    python -m repro.experiments jobs status            # per-sweep journal progress
+    python -m repro.experiments jobs clear-cache       # drop the cache (and journals)
 """
 
 from __future__ import annotations
@@ -14,10 +30,82 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from ..jobs import Journal, ProgressEvent, ResultStore
+from ..jobs.store import DEFAULT_CACHE_DIR
 from .reporting import EXPERIMENT_DRIVERS, render_experiments_markdown, run_all_experiments
 
 
+def _progress_printer(event: ProgressEvent) -> None:
+    if event.kind not in ("hit", "done"):
+        return
+    tag = "cache hit" if event.cached else "computed"
+    label = event.spec.describe() if event.spec is not None else ""
+    print(
+        f"[{event.completed}/{event.total}] {tag}  {label}",
+        file=sys.stderr,
+    )
+
+
+def jobs_main(argv: Sequence[str]) -> int:
+    """The ``jobs`` subcommand: inspect and manage the result cache."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments jobs",
+        description="Inspect and manage the content-addressed result cache.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("list", "status", "clear-cache"),
+        help="list cached job results, show per-sweep journal progress, "
+        "or drop the whole cache",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    args = parser.parse_args(list(argv))
+    store = ResultStore(args.cache)
+
+    if args.action == "list":
+        count = 0
+        for spec_key in store.keys():
+            entry = store.entry(spec_key)
+            spec = entry.get("spec", {})
+            print(
+                f"{spec_key[:16]}  runner={spec.get('runner', '?')}  "
+                f"protocol={spec.get('protocol', '?')}  graph={spec.get('graph')}  "
+                f"daemon={spec.get('daemon')}  version={spec.get('code_version', '?')}"
+            )
+            count += 1
+        print(f"{count} cached result(s) in {store.root}")
+        return 0
+
+    if args.action == "status":
+        summaries = Journal(store.root).status()
+        if not summaries:
+            print(f"no sweep journals in {store.root}")
+            return 0
+        for summary in summaries:
+            state = "complete" if summary["complete"] else "partial"
+            label = f" label={summary['label']}" if summary["label"] else ""
+            print(
+                f"sweep {summary['sweep_key'][:16]}  {summary['done']}/"
+                f"{summary['total']} jobs done  [{state}]{label}"
+            )
+        return 0
+
+    # clear-cache
+    count = store.clear()
+    print(f"cleared {count} cached result(s) from {store.root}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "jobs":
+        return jobs_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's tables, figures and theorem checks.",
@@ -38,7 +126,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="fan the theorem2/theorem3 trial sweeps across this many "
+        help="fan the job-based sweeps (E3/E4/E6/E8) across this many "
         "processes (results are identical; default: sequential)",
     )
     parser.add_argument(
@@ -57,6 +145,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "drivers (default: per-graph, one clock period for small graphs, "
         "a few Theorem 2 bounds in the large-n safety-only regime)",
     )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help="content-addressed result cache for the job-based drivers: "
+        "repeated runs re-simulate nothing, interrupted runs resume from "
+        f"completed jobs (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely (run everything fresh, "
+        "persist nothing)",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore existing cache entries: recompute every job and "
+        "rewrite its entry",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-job progress (cache hit / computed) to stderr",
+    )
     args = parser.parse_args(argv)
 
     selected: Optional[List[str]] = list(args.experiments) or None
@@ -65,6 +178,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         max_n=args.max_n,
         horizon=args.horizon,
+        cache=None if args.no_cache else args.cache,
+        refresh=args.refresh,
+        progress=_progress_printer if args.progress else None,
     )
     for report in reports:
         print(report.to_text())

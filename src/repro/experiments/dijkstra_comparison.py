@@ -12,15 +12,23 @@ Both protocols are driven by their own worst-case-oriented workloads:
 random configurations for Dijkstra (whose worst case is easily reached from
 generic corrupted states) plus the adversarial spliced configuration for
 SSME (whose worst case random states essentially never reach).
+
+Each (ring size × protocol) worst-case measurement is emitted as one
+declarative :class:`~repro.jobs.JobSpec` (workload and seeds pre-drawn in
+sequential order) and executed through a :class:`~repro.jobs.Dispatcher`,
+so the head-to-head is cacheable, resumable and process-parallel across
+ring sizes without changing a single reported number.
 """
 
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
 from ..core import SynchronousDaemon, worst_case_stabilization
 from ..graphs import diameter, ring_graph
+from ..jobs import Dispatcher, JobSpec
 from ..lowerbound import (
     default_spliced_delays,
     delayed_double_privilege_configuration,
@@ -31,9 +39,15 @@ from .runner import ExperimentReport
 from .theorem2_sync_upper import LARGE_N
 from .workloads import mutex_workload, random_configurations
 
-__all__ = ["run_experiment", "DEFAULT_RING_SIZES", "EXPERIMENT_ID"]
+__all__ = ["run_experiment", "emit_jobs", "run_job", "DEFAULT_RING_SIZES", "EXPERIMENT_ID", "CODE_VERSION"]
 
 EXPERIMENT_ID = "E6"
+
+#: Folded into every emitted spec's ``spec_key``; bump on any change to
+#: this driver's workload or measurement semantics.
+CODE_VERSION = "dijkstra-comparison/1"
+
+_RUNNER = "repro.experiments.dijkstra_comparison:run_job"
 
 #: Ring sizes for the head-to-head.  The n >= 1000 rows ride the batched
 #: superstep backend with the safety-only large-n regime (trusted diameter
@@ -42,31 +56,65 @@ EXPERIMENT_ID = "E6"
 DEFAULT_RING_SIZES = (8, 12, 16, 20, 64, 1000, 10000)
 
 
-def run_experiment(
+@lru_cache(maxsize=32)
+def _cached_ssme(n: int, diam: int) -> SSME:
+    return SSME(ring_graph(n), diam=diam)
+
+
+@lru_cache(maxsize=32)
+def _cached_dijkstra(n: int) -> DijkstraTokenRing:
+    return DijkstraTokenRing(ring_graph(n))
+
+
+def run_job(spec: JobSpec) -> Dict[str, object]:
+    """One worst-case measurement over the spec's embedded workload.
+
+    ``spec.protocol`` selects the family; the workload (every initial
+    configuration) and the run seed were pre-drawn by the emitting driver,
+    so the measured maximum is a pure function of the spec.
+    """
+    n = spec.graph_item("n")
+    if spec.protocol == "ssme":
+        protocol = _cached_ssme(n, spec.graph_item("diam"))
+    else:
+        protocol = _cached_dijkstra(n)
+    workload = [
+        protocol.configuration(dict(items)) for items in spec.param("workload")
+    ]
+    result = worst_case_stabilization(
+        protocol=protocol,
+        daemon_factory=SynchronousDaemon,
+        specification=MutualExclusionSpec(protocol),
+        initial_configurations=workload,
+        horizon=spec.horizon,
+        rng=random.Random(spec.seeds[0]),
+        engine=spec.param("engine"),
+        trace="light",
+        count_rounds=False,
+    )
+    return {"max_steps": result.max_steps, "all_stabilized": result.all_stabilized}
+
+
+def emit_jobs(
     ring_sizes: Optional[Sequence[int]] = None,
     configurations_per_graph: int = 8,
     seed: int = 0,
     engine: str = "auto",
     max_n: Optional[int] = None,
-) -> ExperimentReport:
-    """Head-to-head synchronous stabilization on rings.
-
-    ``max_n`` drops ring sizes above that value (the CLI's ``--max-n``)."""
+):
+    """Build the head-to-head grid: per-ring info + (ssme, dijkstra) specs."""
     ring_sizes = list(ring_sizes) if ring_sizes is not None else list(DEFAULT_RING_SIZES)
     if max_n is not None:
         ring_sizes = [n for n in ring_sizes if n <= max_n]
     rng = random.Random(seed)
-    rows: List[Dict[str, object]] = []
-    ssme_always_within_bound = True
-    ssme_never_slower = True
-
+    rings: List[Dict[str, object]] = []
+    specs: List[JobSpec] = []
     for n in ring_sizes:
         graph = ring_graph(n)
         large = n > LARGE_N
         diam = n // 2 if large else diameter(graph)
 
-        ssme = SSME(graph, diam=diam)
-        ssme_spec = MutualExclusionSpec(ssme)
+        ssme = _cached_ssme(n, diam)
         workload_rng = random.Random(rng.randrange(2**63))
         if large:
             # All-O(n) workload: random faults, planted double privilege,
@@ -91,48 +139,86 @@ def run_experiment(
                 ssme, workload_rng, random_count=configurations_per_graph
             )
             ssme_horizon = ssme.K + 4 * ssme.alpha + 16
-        ssme_result = worst_case_stabilization(
-            protocol=ssme,
-            daemon_factory=SynchronousDaemon,
-            specification=ssme_spec,
-            initial_configurations=ssme_workload,
-            horizon=ssme_horizon,
-            rng=random.Random(rng.randrange(2**63)),
-            engine=engine,
-            trace="light",
-            count_rounds=False,
+        specs.append(
+            JobSpec(
+                runner=_RUNNER,
+                code_version=CODE_VERSION,
+                protocol="ssme",
+                graph={"topology": "ring", "n": n, "diam": diam},
+                daemon="synchronous",
+                seeds=(rng.randrange(2**63),),
+                horizon=ssme_horizon,
+                metrics=("max_steps", "all_stabilized"),
+                params={
+                    "workload": tuple(
+                        tuple(initial.items()) for initial in ssme_workload
+                    ),
+                    "engine": engine,
+                },
+            )
         )
 
-        dijkstra = DijkstraTokenRing(graph)
-        dijkstra_spec = MutualExclusionSpec(dijkstra)
+        dijkstra = _cached_dijkstra(n)
         dijkstra_workload = random_configurations(
             dijkstra,
             min(configurations_per_graph, 3) if large else configurations_per_graph,
             random.Random(rng.randrange(2**63)),
         )
-        dijkstra_result = worst_case_stabilization(
-            protocol=dijkstra,
-            daemon_factory=SynchronousDaemon,
-            specification=dijkstra_spec,
-            initial_configurations=dijkstra_workload,
-            horizon=2 * n + 200 if large else 8 * n + 80,
-            rng=random.Random(rng.randrange(2**63)),
-            engine=engine,
-            trace="light",
-            count_rounds=False,
+        specs.append(
+            JobSpec(
+                runner=_RUNNER,
+                code_version=CODE_VERSION,
+                protocol="dijkstra",
+                graph={"topology": "ring", "n": n},
+                daemon="synchronous",
+                seeds=(rng.randrange(2**63),),
+                horizon=2 * n + 200 if large else 8 * n + 80,
+                metrics=("max_steps", "all_stabilized"),
+                params={
+                    "workload": tuple(
+                        tuple(initial.items()) for initial in dijkstra_workload
+                    ),
+                    "engine": engine,
+                },
+            )
         )
+        rings.append(
+            {
+                "n": n,
+                "diam": diam,
+                "ssme_bound": ssme.synchronous_stabilization_bound(),
+                "tasks": (len(specs) - 2, len(specs)),
+            }
+        )
+    return rings, specs
 
-        ssme_steps = ssme_result.max_steps
-        dijkstra_steps = dijkstra_result.max_steps
-        bound = ssme.synchronous_stabilization_bound()
-        within = ssme_result.all_stabilized and ssme_steps is not None and ssme_steps <= bound
+
+def _aggregate(
+    rings: List[Dict[str, object]], results: Sequence[Dict[str, object]]
+) -> ExperimentReport:
+    rows: List[Dict[str, object]] = []
+    ssme_always_within_bound = True
+    ssme_never_slower = True
+    for info in rings:
+        first, _last = info["tasks"]
+        ssme_result = results[first]
+        dijkstra_result = results[first + 1]
+        n = info["n"]
+        ssme_steps = ssme_result["max_steps"]
+        dijkstra_steps = dijkstra_result["max_steps"]
+        bound = info["ssme_bound"]
+        within = (
+            ssme_result["all_stabilized"]
+            and ssme_steps is not None
+            and ssme_steps <= bound
+        )
         ssme_always_within_bound = ssme_always_within_bound and within
         if ssme_steps is None or dijkstra_steps is None or ssme_steps > dijkstra_steps:
             ssme_never_slower = False
         rows.append(
             {
                 "n": n,
-                "diam": diam,
+                "diam": info["diam"],
                 "ssme_steps": ssme_steps,
                 "ssme_bound_ceil_diam_over_2": bound,
                 "dijkstra_steps": dijkstra_steps,
@@ -167,3 +253,34 @@ def run_experiment(
             "ceil(n/4) up to rounding).",
         ],
     )
+
+
+def run_experiment(
+    ring_sizes: Optional[Sequence[int]] = None,
+    configurations_per_graph: int = 8,
+    seed: int = 0,
+    engine: str = "auto",
+    max_n: Optional[int] = None,
+    workers: Optional[int] = None,
+    dispatcher: Optional[Dispatcher] = None,
+) -> ExperimentReport:
+    """Head-to-head synchronous stabilization on rings.
+
+    The per-ring measurements are emitted as :class:`~repro.jobs.JobSpec`s
+    and executed through ``dispatcher`` (cache/resume-aware) or a throwaway
+    uncached dispatcher with ``workers`` processes; reported numbers are
+    identical either way.  ``max_n`` drops ring sizes above that value
+    (the CLI's ``--max-n``)."""
+    rings, specs = emit_jobs(
+        ring_sizes=ring_sizes,
+        configurations_per_graph=configurations_per_graph,
+        seed=seed,
+        engine=engine,
+        max_n=max_n,
+    )
+    if dispatcher is None:
+        with Dispatcher(workers=workers) as local:
+            results = local.run(specs, label=EXPERIMENT_ID)
+    else:
+        results = dispatcher.run(specs, label=EXPERIMENT_ID)
+    return _aggregate(rings, results)

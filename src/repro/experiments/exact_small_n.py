@@ -23,15 +23,22 @@ enough to solve and pins the sampled rows against certified values:
   *fail* verification with an extracted lasso counterexample that violates
   safety infinitely often — the checker proves non-stabilization rather
   than timing out.
+
+Each row is one declarative :class:`~repro.jobs.JobSpec` (seeds pre-drawn
+in the sequential draw order), so exact verification results are cached,
+resumable and process-parallel like every other sweep — the expensive
+explicit-state solves re-run only when this driver's :data:`CODE_VERSION`
+or the instance parameters change.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import CentralDaemon, SynchronousDaemon, worst_case_stabilization
 from ..graphs import path_graph, ring_graph
+from ..jobs import Dispatcher, JobSpec
 from ..mutex import SSME, DijkstraTokenRing, MutualExclusionSpec
 from ..mutex.variants import ParametricClockMutex
 from ..unison import AsynchronousUnison, AsynchronousUnisonSpec
@@ -39,9 +46,15 @@ from ..verify import StateSpace, exact_speculation_gap, verify_stabilization
 from .runner import ExperimentReport
 from .workloads import mutex_workload
 
-__all__ = ["run_experiment", "EXPERIMENT_ID"]
+__all__ = ["run_experiment", "emit_jobs", "run_job", "EXPERIMENT_ID", "CODE_VERSION"]
 
 EXPERIMENT_ID = "E8"
+
+#: Folded into every emitted spec's ``spec_key``; bump on any change to
+#: the row semantics below (or to the checker behaviour they pin).
+CODE_VERSION = "exact-small-n/1"
+
+_RUNNER = "repro.experiments.exact_small_n:run_job"
 
 
 def _sync_horizon(protocol: SSME) -> int:
@@ -49,11 +62,13 @@ def _sync_horizon(protocol: SSME) -> int:
     return protocol.K + 4 * protocol.alpha + 16
 
 
-def _ssme_sync_row(n: int, random_count: int, rng: random.Random) -> Dict[str, object]:
+def _ssme_sync_row(
+    n: int, random_count: int, workload_seed: int, sample_seed: int
+) -> Dict[str, object]:
     protocol = SSME(ring_graph(n))
     specification = MutualExclusionSpec(protocol)
     workload = mutex_workload(
-        protocol, random.Random(rng.randrange(2**63)), random_count=random_count
+        protocol, random.Random(workload_seed), random_count=random_count
     )
     result = verify_stabilization(protocol, specification, "synchronous", workload)
     sampled = worst_case_stabilization(
@@ -62,7 +77,7 @@ def _ssme_sync_row(n: int, random_count: int, rng: random.Random) -> Dict[str, o
         specification=specification,
         initial_configurations=workload,
         horizon=_sync_horizon(protocol),
-        rng=random.Random(rng.randrange(2**63)),
+        rng=random.Random(sample_seed),
         trace="light",
     ).max_steps
     bound = protocol.synchronous_stabilization_bound()
@@ -88,11 +103,13 @@ def _ssme_sync_row(n: int, random_count: int, rng: random.Random) -> Dict[str, o
     }
 
 
-def _ssme_gap_row(n: int, random_count: int, rng: random.Random) -> Dict[str, object]:
+def _ssme_gap_row(
+    n: int, random_count: int, workload_seed: int, sample_seed: int
+) -> Dict[str, object]:
     protocol = SSME(ring_graph(n))
     specification = MutualExclusionSpec(protocol)
     workload = mutex_workload(
-        protocol, random.Random(rng.randrange(2**63)), random_count=random_count
+        protocol, random.Random(workload_seed), random_count=random_count
     )
     certificate = exact_speculation_gap(
         protocol, specification, "central", "synchronous", workload
@@ -103,7 +120,7 @@ def _ssme_gap_row(n: int, random_count: int, rng: random.Random) -> Dict[str, ob
         specification=specification,
         initial_configurations=workload,
         horizon=4 * protocol.graph.n * (protocol.alpha + protocol.diam) + 40,
-        rng=random.Random(rng.randrange(2**63)),
+        rng=random.Random(sample_seed),
         runs_per_configuration=2,
         trace="light",
     ).max_steps
@@ -129,13 +146,14 @@ def _ssme_gap_row(n: int, random_count: int, rng: random.Random) -> Dict[str, ob
     }
 
 
-def _dijkstra_row(n: int, random_count: int, rng: random.Random) -> Dict[str, object]:
+def _dijkstra_row(
+    n: int, initial_seeds: Sequence[int], sample_seed: int
+) -> Dict[str, object]:
     protocol = DijkstraTokenRing.on_ring(n)
     specification = MutualExclusionSpec(protocol)
     result = verify_stabilization(protocol, specification, "central")
     initials = [
-        protocol.random_configuration(random.Random(rng.randrange(2**63)))
-        for _ in range(random_count)
+        protocol.random_configuration(random.Random(seed)) for seed in initial_seeds
     ]
     sampled = worst_case_stabilization(
         protocol=protocol,
@@ -143,7 +161,7 @@ def _dijkstra_row(n: int, random_count: int, rng: random.Random) -> Dict[str, ob
         specification=specification,
         initial_configurations=initials,
         horizon=4 * protocol.graph.n * protocol.K + 40,
-        rng=random.Random(rng.randrange(2**63)),
+        rng=random.Random(sample_seed),
         runs_per_configuration=2,
         trace="light",
     ).max_steps
@@ -195,57 +213,76 @@ def _unison_closure_row() -> Dict[str, object]:
     }
 
 
-def _broken_rows() -> List[Dict[str, object]]:
-    rows: List[Dict[str, object]] = []
+def _broken_dijkstra_row() -> Dict[str, object]:
     # Dijkstra with K below the self-stabilization threshold: the central
     # adversary can keep two tokens alive forever.
     protocol = DijkstraTokenRing.on_ring(4, K=2)
     result = verify_stabilization(protocol, MutualExclusionSpec(protocol), "central")
     lasso = result.counterexample
-    rows.append(
-        {
-            "kind": "broken-dijkstra",
-            "instance": "ring(4), K=2",
-            "daemon_class": "central",
-            "states": result.state_count,
-            "exhaustive": result.exhaustive,
-            "exact_worst_steps": None,
-            "sampled_worst_steps": None,
-            "paper_bound": None,
-            "diverging_states": result.diverging_count,
-            "lasso_cycle": len(lasso.cycle) if lasso else None,
-            "certified": (
-                not result.stabilizes and lasso is not None and lasso.violates_safety
-            ),
-        }
-    )
+    return {
+        "kind": "broken-dijkstra",
+        "instance": "ring(4), K=2",
+        "daemon_class": "central",
+        "states": result.state_count,
+        "exhaustive": result.exhaustive,
+        "exact_worst_steps": None,
+        "sampled_worst_steps": None,
+        "paper_bound": None,
+        "diverging_states": result.diverging_count,
+        "lasso_cycle": len(lasso.cycle) if lasso else None,
+        "certified": (
+            not result.stabilizes and lasso is not None and lasso.violates_safety
+        ),
+    }
+
+
+def _broken_spacing_row() -> Dict[str, object]:
     # SSME with the privilege spacing collapsed below the drift bound: Γ₁
     # contains double privileges, and the unfair adversary revisits them
     # forever.
     protocol = ParametricClockMutex(path_graph(2), spacing=1)
     result = verify_stabilization(protocol, MutualExclusionSpec(protocol), "distributed")
     lasso = result.counterexample
-    rows.append(
-        {
-            "kind": "broken-spacing-mutex",
-            "instance": "path(2), spacing=1",
-            "daemon_class": "distributed",
-            "states": result.state_count,
-            "exhaustive": result.exhaustive,
-            "exact_worst_steps": None,
-            "sampled_worst_steps": None,
-            "paper_bound": None,
-            "diverging_states": result.diverging_count,
-            "lasso_cycle": len(lasso.cycle) if lasso else None,
-            "certified": (
-                not result.stabilizes and lasso is not None and lasso.violates_safety
-            ),
-        }
-    )
-    return rows
+    return {
+        "kind": "broken-spacing-mutex",
+        "instance": "path(2), spacing=1",
+        "daemon_class": "distributed",
+        "states": result.state_count,
+        "exhaustive": result.exhaustive,
+        "exact_worst_steps": None,
+        "sampled_worst_steps": None,
+        "paper_bound": None,
+        "diverging_states": result.diverging_count,
+        "lasso_cycle": len(lasso.cycle) if lasso else None,
+        "certified": (
+            not result.stabilizes and lasso is not None and lasso.violates_safety
+        ),
+    }
 
 
-def run_experiment(
+def run_job(spec: JobSpec) -> Dict[str, object]:
+    """Execute one emitted row spec (runs inside worker processes)."""
+    kind = spec.param("kind")
+    if kind == "ssme-sd-exact":
+        return _ssme_sync_row(
+            spec.graph_item("n"), spec.param("random_count"), *spec.seeds
+        )
+    if kind == "ssme-exact-gap":
+        return _ssme_gap_row(
+            spec.graph_item("n"), spec.param("random_count"), *spec.seeds
+        )
+    if kind == "dijkstra-exhaustive":
+        return _dijkstra_row(spec.graph_item("n"), spec.seeds[:-1], spec.seeds[-1])
+    if kind == "unison-closure":
+        return _unison_closure_row()
+    if kind == "broken-dijkstra":
+        return _broken_dijkstra_row()
+    if kind == "broken-spacing-mutex":
+        return _broken_spacing_row()
+    raise ValueError(f"unknown exact_small_n job kind {kind!r}")
+
+
+def emit_jobs(
     ssme_sizes: Sequence[int] = (4, 6, 8),
     gap_sizes: Sequence[int] = (4,),
     dijkstra_sizes: Sequence[int] = (4, 5),
@@ -253,25 +290,91 @@ def run_experiment(
     seed: int = 0,
     include_exhaustive: bool = True,
     include_broken: bool = True,
-) -> ExperimentReport:
-    """Cross-validate the sampled theorem sweeps against exact values.
-
-    Pure-Python end to end (NumPy stays optional); the default sweep solves
-    every instance in a few seconds.
-    """
+) -> List[JobSpec]:
+    """One spec per report row, seeds pre-drawn in sequential draw order."""
     rng = random.Random(seed)
-    rows: List[Dict[str, object]] = []
+
+    def _spec(kind: str, protocol: str, daemon: str, graph, seeds: Tuple[int, ...], params=()):
+        return JobSpec(
+            runner=_RUNNER,
+            code_version=CODE_VERSION,
+            protocol=protocol,
+            graph=graph,
+            daemon=daemon,
+            seeds=seeds,
+            metrics=("exact_worst_steps", "sampled_worst_steps", "certified"),
+            params=(("kind", kind),) + tuple(params),
+        )
+
+    specs: List[JobSpec] = []
     for n in ssme_sizes:
-        rows.append(_ssme_sync_row(n, random_configurations_per_graph, rng))
+        specs.append(
+            _spec(
+                "ssme-sd-exact",
+                "ssme",
+                "synchronous",
+                {"topology": "ring", "n": n},
+                (rng.randrange(2**63), rng.randrange(2**63)),
+                params=(("random_count", random_configurations_per_graph),),
+            )
+        )
     for n in gap_sizes:
-        rows.append(_ssme_gap_row(n, random_configurations_per_graph, rng))
+        specs.append(
+            _spec(
+                "ssme-exact-gap",
+                "ssme",
+                "central-vs-synchronous",
+                {"topology": "ring", "n": n},
+                (rng.randrange(2**63), rng.randrange(2**63)),
+                params=(("random_count", random_configurations_per_graph),),
+            )
+        )
     if include_exhaustive:
         for n in dijkstra_sizes:
-            rows.append(_dijkstra_row(n, random_configurations_per_graph, rng))
-        rows.append(_unison_closure_row())
+            initial_seeds = tuple(
+                rng.randrange(2**63) for _ in range(random_configurations_per_graph)
+            )
+            specs.append(
+                _spec(
+                    "dijkstra-exhaustive",
+                    "dijkstra",
+                    "central",
+                    {"topology": "ring", "n": n},
+                    initial_seeds + (rng.randrange(2**63),),
+                )
+            )
+        specs.append(
+            _spec(
+                "unison-closure",
+                "unison",
+                "distributed",
+                {"topology": "ring", "n": 4, "alpha": 2, "K": 5},
+                (),
+            )
+        )
     if include_broken:
-        rows.extend(_broken_rows())
+        specs.append(
+            _spec(
+                "broken-dijkstra",
+                "dijkstra",
+                "central",
+                {"topology": "ring", "n": 4, "K": 2},
+                (),
+            )
+        )
+        specs.append(
+            _spec(
+                "broken-spacing-mutex",
+                "parametric-clock-mutex",
+                "distributed",
+                {"topology": "path", "n": 2, "spacing": 1},
+                (),
+            )
+        )
+    return specs
 
+
+def _aggregate(rows: List[Dict[str, object]]) -> ExperimentReport:
     sync_rows = [row for row in rows if row["kind"] == "ssme-sd-exact"]
     summary = {
         "exact_equals_theorem2_bound_on_every_ring": all(
@@ -312,3 +415,39 @@ def run_experiment(
             "sampler and solver against each other.",
         ],
     )
+
+
+def run_experiment(
+    ssme_sizes: Sequence[int] = (4, 6, 8),
+    gap_sizes: Sequence[int] = (4,),
+    dijkstra_sizes: Sequence[int] = (4, 5),
+    random_configurations_per_graph: int = 6,
+    seed: int = 0,
+    include_exhaustive: bool = True,
+    include_broken: bool = True,
+    workers: Optional[int] = None,
+    dispatcher: Optional[Dispatcher] = None,
+) -> ExperimentReport:
+    """Cross-validate the sampled theorem sweeps against exact values.
+
+    Pure-Python end to end (NumPy stays optional); the default sweep solves
+    every instance in a few seconds.  Rows are emitted as
+    :class:`~repro.jobs.JobSpec`s and executed through ``dispatcher`` (or a
+    throwaway uncached dispatcher with ``workers`` processes), so the
+    explicit-state solves cache and resume like every sampled sweep.
+    """
+    specs = emit_jobs(
+        ssme_sizes=ssme_sizes,
+        gap_sizes=gap_sizes,
+        dijkstra_sizes=dijkstra_sizes,
+        random_configurations_per_graph=random_configurations_per_graph,
+        seed=seed,
+        include_exhaustive=include_exhaustive,
+        include_broken=include_broken,
+    )
+    if dispatcher is None:
+        with Dispatcher(workers=workers) as local:
+            rows = local.run(specs, label=EXPERIMENT_ID)
+    else:
+        rows = dispatcher.run(specs, label=EXPERIMENT_ID)
+    return _aggregate(rows)

@@ -9,7 +9,10 @@ plain sequential loop when no workers are requested (the default), so the
 sequential and parallel paths execute the *same* task list with the *same*
 precomputed seeds and produce identical reports.
 
-Design constraints baked into the helper:
+Since the job service layer landed, :func:`parallel_map` is a thin wrapper
+over :class:`repro.jobs.WorkerPool` (one throwaway pool per call); the
+dispatcher-driven sweeps hold a *persistent* pool instead.  Both surfaces
+share the pool's guarantees:
 
 * **Tasks are plain picklable tuples** and workers are **module-level
   functions** — protocol objects hold closures (rule lambdas) and must be
@@ -18,25 +21,22 @@ Design constraints baked into the helper:
   sequential code would draw them, so ``workers=`` never changes results.
 * The ``fork`` start method is preferred when the platform offers it
   (cheap, inherits ``sys.path``); otherwise the default context is used.
+* A failing task aborts the map with a :class:`~repro.exceptions.JobError`
+  carrying the task index and a ``repr`` of the task tuple (the original
+  worker exception is chained as ``__cause__``) — not an opaque pickled
+  traceback with no indication of which task died.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..jobs.pool import WorkerPool
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 __all__ = ["parallel_map"]
-
-
-def _pool_context():
-    """The multiprocessing context to run pools under."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
 
 
 def parallel_map(
@@ -51,16 +51,13 @@ def parallel_map(
     values run a process pool of at most ``min(workers, len(tasks))``
     processes; results come back in task order, so callers aggregate
     identically either way.  ``worker`` must be a module-level (picklable)
-    function and every task a picklable value.
+    function and every task a picklable value.  A worker exception
+    surfaces as :class:`~repro.exceptions.JobError` naming the failing
+    task's index and ``repr``.
     """
     tasks = list(tasks)
     if workers is not None and workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
-    if not workers or workers == 1 or len(tasks) <= 1:
-        return [worker(task) for task in tasks]
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)), mp_context=_pool_context()
-    ) as pool:
-        return list(pool.map(worker, tasks))
+    width = min(workers, len(tasks)) if workers else workers
+    with WorkerPool(width) as pool:
+        return pool.run(worker, tasks)

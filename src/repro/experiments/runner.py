@@ -106,6 +106,42 @@ class ExperimentReport:
         lines.append("")
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------ #
+    # Serialization (reports as cacheable artifacts)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """The report as plain JSON data.
+
+        ``from_dict(to_dict())`` round-trips exactly (rows keep their key
+        order), so reports can be persisted next to the job results they
+        aggregate and re-rendered without re-running anything.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "rows": [dict(row) for row in self.rows],
+            "summary": dict(self.summary),
+            "passed": self.passed,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentReport":
+        """Rebuild a report from :meth:`to_dict` data."""
+        try:
+            return cls(
+                experiment_id=data["experiment_id"],
+                title=data["title"],
+                paper_claim=data["paper_claim"],
+                rows=data["rows"],
+                summary=data.get("summary"),
+                passed=data.get("passed", True),
+                notes=data.get("notes"),
+            )
+        except KeyError as exc:
+            raise ExperimentError(f"report data is missing field {exc}") from None
+
     def __repr__(self) -> str:
         return (
             f"ExperimentReport({self.experiment_id!r}, rows={len(self.rows)}, "

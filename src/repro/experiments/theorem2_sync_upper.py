@@ -13,36 +13,49 @@ facts are checked:
   reaches the bound, i.e. the measured worst case equals ``⌈diam/2⌉``.
 
 The sweep is embarrassingly parallel: every (graph, initial configuration)
-trial is independent, so the driver builds one task list — with all seeds
-pre-drawn in the sequential order — and executes it through
-:func:`repro.experiments.parallel.parallel_map`.  ``workers=`` (opt-in)
-fans the trials across processes; results are identical either way.
+trial is independent.  The driver *emits* its trial grid as a list of
+declarative :class:`~repro.jobs.JobSpec`s — with all seeds pre-drawn in
+the sequential draw order — and executes it through a
+:class:`~repro.jobs.Dispatcher`: sequential, process-parallel
+(``workers=``), cached and resumed executions all aggregate the same
+results.  :data:`CODE_VERSION` is folded into every spec's ``spec_key``;
+bump it whenever this driver's measured semantics change.
 """
 
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import (
+    StabilizationMeasurement,
     SynchronousDaemon,
     WorstCaseStabilization,
     measure_stabilization,
 )
 from ..graphs import make_topology
+from ..jobs import Dispatcher, JobSpec
 from ..lowerbound import (
     default_spliced_delays,
     delayed_double_privilege_configuration,
     immediate_double_privilege_configuration,
 )
 from ..mutex import SSME, MutualExclusionSpec
-from .parallel import parallel_map
 from .runner import ExperimentReport
 from .workloads import mutex_workload
 
-__all__ = ["run_experiment", "DEFAULT_SWEEP", "EXPERIMENT_ID"]
+__all__ = ["run_experiment", "emit_jobs", "run_job", "DEFAULT_SWEEP", "EXPERIMENT_ID", "CODE_VERSION"]
 
 EXPERIMENT_ID = "E3"
+
+#: Folded into every emitted spec's ``spec_key``: bump on any change to
+#: this driver's trial semantics (workload construction, horizons, the
+#: measurement call) so stale cached results become misses.
+CODE_VERSION = "theorem2/1"
+
+#: Runner reference resolved inside worker processes.
+_RUNNER = "repro.experiments.theorem2_sync_upper:run_job"
 
 #: Above this size the driver switches to the large-n regime: trusted
 #: closed-form diameters, the analytic (ball-planting) witness instead of
@@ -91,6 +104,14 @@ def _build_protocol(topology: str, size: int) -> SSME:
         if trusted is not None:
             return SSME(graph, diam=trusted(graph.n))
     return SSME(graph)
+
+
+@lru_cache(maxsize=32)
+def _cached_protocol(topology: str, size: int) -> SSME:
+    # Protocols are immutable rule templates, so both the emitting driver
+    # and the job runner (sequential or forked worker) share one instance
+    # per (topology, size) instead of re-deriving graph + diameter per trial.
+    return _build_protocol(topology, size)
 
 
 def _sync_horizon(protocol: SSME) -> int:
@@ -147,56 +168,75 @@ def _run_sync_trial(
     )
 
 
-def _measure_sync_trial(task):
-    """Picklable process worker wrapping :func:`_run_sync_trial`.
+def _measurement_result(measurement: StabilizationMeasurement) -> Dict[str, object]:
+    """A measurement as the JSON result the cache stores."""
+    return {
+        "stabilization_steps": measurement.stabilization_steps,
+        "stabilized": measurement.stabilized,
+        "liveness_checked": measurement.liveness_checked,
+        "liveness_ok": measurement.liveness_ok,
+        "execution_steps": measurement.execution_steps,
+        "terminal": measurement.terminal,
+        "rounds": measurement.rounds,
+    }
 
-    The protocol is rebuilt from primitive parameters inside the worker
-    (protocol objects hold rule closures and cannot cross process
-    boundaries); the task seed was pre-drawn by the driver in sequential
-    order, so results do not depend on how trials are scheduled.
-    """
-    topology, size, items, seed, check_liveness, engine, horizon = task
-    protocol = _build_protocol(topology, size)
-    return _run_sync_trial(
-        protocol,
-        MutualExclusionSpec(protocol),
-        items,
-        seed,
-        check_liveness,
-        engine,
-        horizon,
+
+def _measurement_from_result(result) -> StabilizationMeasurement:
+    return StabilizationMeasurement(
+        stabilization_steps=result["stabilization_steps"],
+        stabilized=result["stabilized"],
+        liveness_checked=result["liveness_checked"],
+        liveness_ok=result["liveness_ok"],
+        execution_steps=result["execution_steps"],
+        terminal=result["terminal"],
+        rounds=result["rounds"],
     )
 
 
-def run_experiment(
+def run_job(spec: JobSpec) -> Dict[str, object]:
+    """Execute one emitted trial spec (runs inside worker processes).
+
+    The protocol is rebuilt (cached per process) from the spec's graph
+    parameters — protocol objects hold rule closures and never cross
+    process or cache boundaries; the seed was pre-drawn by the driver in
+    sequential order, so results do not depend on scheduling.
+    """
+    protocol = _cached_protocol(spec.graph_item("topology"), spec.graph_item("size"))
+    measurement = _run_sync_trial(
+        protocol,
+        MutualExclusionSpec(protocol),
+        spec.param("initial"),
+        spec.seeds[0],
+        spec.param("check_liveness"),
+        spec.param("engine"),
+        spec.horizon,
+    )
+    return _measurement_result(measurement)
+
+
+def emit_jobs(
     sweep: Optional[Sequence[Tuple[str, int]]] = None,
     random_configurations_per_graph: int = 8,
     seed: int = 0,
     check_liveness: bool = True,
     engine: str = "auto",
-    workers: Optional[int] = None,
     max_n: Optional[int] = None,
     horizon: Optional[int] = None,
-) -> ExperimentReport:
-    """Measure SSME's synchronous stabilization across topologies.
+) -> Tuple[List[Dict[str, object]], List[JobSpec]]:
+    """Build the trial grid: per-graph aggregation info + one spec per trial.
 
-    ``workers`` (opt-in, default sequential) fans the independent trials
-    across that many processes; the report is identical for any value.
-    ``max_n`` drops every sweep entry larger than that size (the CLI's
-    ``--max-n``, e.g. to skip the n >= 1000 superstep rows on a slow
-    machine); ``horizon`` overrides the per-graph horizon outright.
-    Above :data:`LARGE_N` vertices a row automatically switches to the
-    safety-only regime: trusted closed-form diameter, analytic witnesses,
-    a horizon of a few Theorem 2 bounds, and no liveness window.
+    Every RNG draw happens here, in the exact order the original inline
+    loop drew them, and lands in a spec's ``seeds`` — executing the specs
+    is then order-independent.
     """
     sweep = list(sweep) if sweep is not None else list(DEFAULT_SWEEP)
     if max_n is not None:
         sweep = [(topology, size) for topology, size in sweep if size <= max_n]
     rng = random.Random(seed)
     graphs: List[Dict[str, object]] = []
-    tasks: List[tuple] = []
+    specs: List[JobSpec] = []
     for topology, size in sweep:
-        protocol = _build_protocol(topology, size)
+        protocol = _cached_protocol(topology, size)
         graph = protocol.graph
         large = graph.n > LARGE_N
         if large:
@@ -225,17 +265,23 @@ def run_experiment(
             )
         trial_liveness = check_liveness and not large
         trial_rng = random.Random(rng.randrange(2**63))
-        first_task = len(tasks)
+        first_task = len(specs)
         for initial in workload:
-            tasks.append(
-                (
-                    topology,
-                    size,
-                    tuple(initial.items()),
-                    trial_rng.randrange(2**63),
-                    trial_liveness,
-                    engine,
-                    trial_horizon,
+            specs.append(
+                JobSpec(
+                    runner=_RUNNER,
+                    code_version=CODE_VERSION,
+                    protocol="ssme",
+                    graph={"topology": topology, "size": size},
+                    daemon="synchronous",
+                    seeds=(trial_rng.randrange(2**63),),
+                    horizon=trial_horizon,
+                    metrics=("stabilization_steps", "stabilized", "liveness_ok"),
+                    params={
+                        "initial": tuple(initial.items()),
+                        "check_liveness": trial_liveness,
+                        "engine": engine,
+                    },
                 )
             )
         graphs.append(
@@ -248,41 +294,23 @@ def run_experiment(
                 "configs": len(workload),
                 "horizon": trial_horizon,
                 "liveness": trial_liveness,
-                "tasks": (first_task, len(tasks)),
-                "protocol": protocol,
+                "tasks": (first_task, len(specs)),
             }
         )
+    return graphs, specs
 
-    if workers and workers > 1:
-        measurements = parallel_map(_measure_sync_trial, tasks, workers=workers)
-    else:
-        # Sequential: reuse the protocol (and its diameter computation)
-        # already built per graph instead of rebuilding it per trial.
-        measurements = []
-        for info in graphs:
-            protocol = info["protocol"]
-            specification = MutualExclusionSpec(protocol)
-            first, last = info["tasks"]
-            for task in tasks[first:last]:
-                _t, _s, items, task_seed, live, task_engine, task_horizon = task
-                measurements.append(
-                    _run_sync_trial(
-                        protocol,
-                        specification,
-                        items,
-                        task_seed,
-                        live,
-                        task_engine,
-                        task_horizon,
-                    )
-                )
 
+def _aggregate(
+    graphs: List[Dict[str, object]], results: Sequence[object]
+) -> ExperimentReport:
     rows: List[Dict[str, object]] = []
     upper_ok = True
     tight_ok = True
     for info in graphs:
         first, last = info["tasks"]
-        result = WorstCaseStabilization(measurements[first:last])
+        result = WorstCaseStabilization(
+            [_measurement_from_result(r) for r in results[first:last]]
+        )
         measured = result.max_steps
         bound = info["bound"]
         row_upper = result.all_stabilized and measured is not None and measured <= bound
@@ -327,3 +355,46 @@ def run_experiment(
             "liveness window skipped.",
         ],
     )
+
+
+def run_experiment(
+    sweep: Optional[Sequence[Tuple[str, int]]] = None,
+    random_configurations_per_graph: int = 8,
+    seed: int = 0,
+    check_liveness: bool = True,
+    engine: str = "auto",
+    workers: Optional[int] = None,
+    max_n: Optional[int] = None,
+    horizon: Optional[int] = None,
+    dispatcher: Optional[Dispatcher] = None,
+) -> ExperimentReport:
+    """Measure SSME's synchronous stabilization across topologies.
+
+    The trial grid is emitted as :class:`~repro.jobs.JobSpec`s and executed
+    through ``dispatcher`` (one with a result cache makes repeated and
+    overlapping sweeps incremental and interrupted sweeps resumable); when
+    ``dispatcher`` is None a throwaway uncached dispatcher with ``workers``
+    processes runs the grid.  The report is bit-for-bit identical for any
+    ``workers`` value, with or without cache, fresh or resumed.  ``max_n``
+    drops every sweep entry larger than that size (the CLI's ``--max-n``,
+    e.g. to skip the n >= 1000 superstep rows on a slow machine);
+    ``horizon`` overrides the per-graph step budget outright.  Above
+    :data:`LARGE_N` vertices a row automatically switches to the
+    safety-only regime: trusted closed-form diameter, analytic witnesses,
+    a horizon of a few Theorem 2 bounds, and no liveness window.
+    """
+    graphs, specs = emit_jobs(
+        sweep=sweep,
+        random_configurations_per_graph=random_configurations_per_graph,
+        seed=seed,
+        check_liveness=check_liveness,
+        engine=engine,
+        max_n=max_n,
+        horizon=horizon,
+    )
+    if dispatcher is None:
+        with Dispatcher(workers=workers) as local:
+            results = local.run(specs, label=EXPERIMENT_ID)
+    else:
+        results = dispatcher.run(specs, label=EXPERIMENT_ID)
+    return _aggregate(graphs, results)

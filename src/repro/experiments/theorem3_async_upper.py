@@ -13,16 +13,19 @@ and the measured values are reported next to the bound so the (large) slack
 of the ``O(diam·n³)`` analysis is visible, as well as next to the
 synchronous bound to show the speculation gap.
 
-Every (daemon × initial × run) trial is independent, so the driver builds
-one task list with all seeds pre-drawn in the sequential draw order and
-executes it through :func:`repro.experiments.parallel.parallel_map`;
-``workers=`` (opt-in) fans the trials across processes without changing
-any reported number.
+Every (daemon × initial × run) trial is independent, so the driver emits
+one declarative :class:`~repro.jobs.JobSpec` per trial — with all seeds
+pre-drawn in the sequential draw order — and executes the grid through a
+:class:`~repro.jobs.Dispatcher` (``workers=`` fans trials across
+processes, a result cache makes repeats incremental) without changing any
+reported number.  Custom ``daemon_factories`` hold closures and cannot be
+described by data, so they bypass the job layer and run inline.
 """
 
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import (
@@ -35,15 +38,29 @@ from ..core import (
     StarvationDaemon,
 )
 from ..graphs import make_topology
+from ..jobs import Dispatcher, JobSpec
 from ..mutex import SSME, MutualExclusionSpec
 from ..unison import AsynchronousUnisonSpec
-from .parallel import parallel_map
 from .runner import ExperimentReport
 from .workloads import mutex_workload
 
-__all__ = ["run_experiment", "DEFAULT_SWEEP", "DEFAULT_DAEMON_FACTORIES", "EXPERIMENT_ID"]
+__all__ = [
+    "run_experiment",
+    "emit_jobs",
+    "run_job",
+    "DEFAULT_SWEEP",
+    "DEFAULT_DAEMON_FACTORIES",
+    "EXPERIMENT_ID",
+    "CODE_VERSION",
+]
 
 EXPERIMENT_ID = "E4"
+
+#: Folded into every emitted spec's ``spec_key``; bump on any change to
+#: this driver's trial semantics.
+CODE_VERSION = "theorem3/1"
+
+_RUNNER = "repro.experiments.theorem3_async_upper:run_job"
 
 #: Default (topology, size) sweep — smaller than E3 because the
 #: adversarial schedulers are sequential (one vertex per action), so each
@@ -68,6 +85,11 @@ DEFAULT_DAEMON_FACTORIES: Tuple[Tuple[str, Callable[[], Daemon]], ...] = (
 )
 
 _DEFAULT_FACTORY_MAP: Dict[str, Callable[[], Daemon]] = dict(DEFAULT_DAEMON_FACTORIES)
+
+
+@lru_cache(maxsize=32)
+def _cached_protocol(topology: str, size: int) -> SSME:
+    return SSME(make_topology(topology, size))
 
 
 def _unfair_horizon(protocol: SSME) -> int:
@@ -120,48 +142,45 @@ def _run_unfair_trial(
     )
 
 
-def _measure_unfair_trial(task) -> Tuple[Optional[int], Optional[int]]:
-    """Picklable worker: rebuilds protocol (with its specs) and daemon from
-    primitive parameters — neither can cross a process boundary."""
-    topology, size, daemon_name, items, seed, engine, horizon = task
-    protocol = SSME(make_topology(topology, size))
-    # The Theorem 3 bound is inherited from the unison's step complexity
-    # (Devismes & Petit), so the underlying spec_AU convergence is the
-    # quantity that actually grows with the graph; spec_ME stabilizes no
-    # later than spec_AU and is reported alongside it.
-    return _run_unfair_trial(
+def run_job(spec: JobSpec) -> List[Optional[int]]:
+    """Execute one emitted trial spec: ``[unison_steps, mutex_steps]``.
+
+    Protocol and daemon are rebuilt from primitive parameters (cached per
+    process) — neither can cross a process or cache boundary.  The Theorem
+    3 bound is inherited from the unison's step complexity (Devismes &
+    Petit), so the underlying spec_AU convergence is the quantity that
+    actually grows with the graph; spec_ME stabilizes no later than
+    spec_AU and is reported alongside it.
+    """
+    protocol = _cached_protocol(spec.graph_item("topology"), spec.graph_item("size"))
+    unison_steps, mutex_steps = _run_unfair_trial(
         protocol,
         MutualExclusionSpec(protocol),
         AsynchronousUnisonSpec(protocol),
-        _DEFAULT_FACTORY_MAP[daemon_name](),
-        items,
-        seed,
-        engine,
-        horizon,
+        _DEFAULT_FACTORY_MAP[spec.daemon](),
+        spec.param("initial"),
+        spec.seeds[0],
+        spec.param("engine"),
+        spec.horizon,
     )
+    return [unison_steps, mutex_steps]
 
 
-def run_experiment(
+def emit_jobs(
     sweep: Optional[Sequence[Tuple[str, int]]] = None,
     daemon_factories: Optional[Sequence[Tuple[str, Callable[[], Daemon]]]] = None,
     random_configurations_per_graph: int = 3,
     runs_per_configuration: int = 1,
     seed: int = 0,
     engine: str = "auto",
-    workers: Optional[int] = None,
     max_n: Optional[int] = None,
     horizon: Optional[int] = None,
-) -> ExperimentReport:
-    """Measure SSME's stabilization under unfair-style schedulers.
+) -> Tuple[List[Dict[str, object]], List[JobSpec], List[Tuple[str, Callable[[], Daemon]]]]:
+    """Build the trial grid: per-graph info + one spec per trial.
 
-    ``workers`` (opt-in, default sequential) fans the independent trials
-    across that many processes.  Process workers rebuild daemons by name
-    from :data:`DEFAULT_DAEMON_FACTORIES`; when custom ``daemon_factories``
-    are supplied the sweep therefore runs sequentially (factories hold
-    closures and cannot cross process boundaries).  Reported numbers are
-    identical for any ``workers`` value.  ``max_n`` drops sweep entries
-    larger than that size; ``horizon`` overrides the per-graph step budget
-    (the default is Θ(n·(alpha+diam)), far below the cubic bound).
+    Returns ``(graphs, specs, daemon_factories)``.  When custom (non-default)
+    factories are supplied the specs cannot describe them; callers must
+    detect that via :func:`uses_default_factories` and run inline.
     """
     sweep = list(sweep) if sweep is not None else list(DEFAULT_SWEEP)
     if max_n is not None:
@@ -171,15 +190,12 @@ def run_experiment(
         if daemon_factories is not None
         else list(DEFAULT_DAEMON_FACTORIES)
     )
-    default_factories = all(
-        _DEFAULT_FACTORY_MAP.get(name) is factory for name, factory in daemon_factories
-    )
     rng = random.Random(seed)
     graphs: List[Dict[str, object]] = []
-    tasks: List[tuple] = []
+    specs: List[JobSpec] = []
     for topology, size in sweep:
-        graph = make_topology(topology, size)
-        protocol = SSME(graph)
+        protocol = _cached_protocol(topology, size)
+        graph = protocol.graph
         # Seed the sweep with an extra far-pair double-privilege witness on
         # top of the diametral one: unfair schedulers then start from
         # configurations that actually exercise the mutual-exclusion bound.
@@ -189,62 +205,56 @@ def run_experiment(
             random_count=random_configurations_per_graph,
             extra_pairs=1,
         )
-        first_task = len(tasks)
+        first_task = len(specs)
         for daemon_name, _factory in daemon_factories:
             for initial in workload:
                 for _ in range(runs_per_configuration):
-                    tasks.append(
-                        (
-                            topology,
-                            size,
-                            daemon_name,
-                            tuple(initial.items()),
-                            rng.randrange(2**63),
-                            engine,
-                            horizon,
+                    specs.append(
+                        JobSpec(
+                            runner=_RUNNER,
+                            code_version=CODE_VERSION,
+                            protocol="ssme",
+                            graph={"topology": topology, "size": size},
+                            daemon=daemon_name,
+                            seeds=(rng.randrange(2**63),),
+                            horizon=horizon,
+                            metrics=("unison_steps", "mutex_steps"),
+                            params={
+                                "initial": tuple(initial.items()),
+                                "engine": engine,
+                            },
                         )
                     )
         graphs.append(
             {
                 "topology": topology,
+                "size": size,
                 "n": graph.n,
                 "diam": protocol.diam,
                 "bound": protocol.unfair_stabilization_bound(),
                 "sync_bound": protocol.synchronous_stabilization_bound(),
                 "trials_per_daemon": len(workload) * runs_per_configuration,
-                "tasks": (first_task, len(tasks)),
-                "protocol": protocol,
+                "tasks": (first_task, len(specs)),
             }
         )
+    return graphs, specs, daemon_factories
 
-    if default_factories and workers and workers > 1:
-        results = parallel_map(_measure_unfair_trial, tasks, workers=workers)
-    else:
-        # Sequential (and custom-factory) path: reuse the protocol and
-        # specification objects already built per graph instead of
-        # rebuilding them per trial.
-        factories = dict(daemon_factories)
-        results = []
-        for info in graphs:
-            protocol = info["protocol"]
-            mutex_specification = MutualExclusionSpec(protocol)
-            unison_specification = AsynchronousUnisonSpec(protocol)
-            first, last = info["tasks"]
-            for task in tasks[first:last]:
-                _t, _s, daemon_name, items, task_seed, task_engine, task_horizon = task
-                results.append(
-                    _run_unfair_trial(
-                        protocol,
-                        mutex_specification,
-                        unison_specification,
-                        factories[daemon_name](),
-                        items,
-                        task_seed,
-                        task_engine,
-                        task_horizon,
-                    )
-                )
 
+def uses_default_factories(
+    daemon_factories: Sequence[Tuple[str, Callable[[], Daemon]]]
+) -> bool:
+    """Whether every factory is the stock one its name maps to (only then
+    can worker processes and cached specs rebuild the daemons by name)."""
+    return all(
+        _DEFAULT_FACTORY_MAP.get(name) is factory for name, factory in daemon_factories
+    )
+
+
+def _aggregate(
+    graphs: List[Dict[str, object]],
+    results: Sequence[Sequence[Optional[int]]],
+    daemon_factories: Sequence[Tuple[str, Callable[[], Daemon]]],
+) -> ExperimentReport:
     rows: List[Dict[str, object]] = []
     all_within = True
     for info in graphs:
@@ -321,3 +331,72 @@ def run_experiment(
             "always no larger.",
         ],
     )
+
+
+def run_experiment(
+    sweep: Optional[Sequence[Tuple[str, int]]] = None,
+    daemon_factories: Optional[Sequence[Tuple[str, Callable[[], Daemon]]]] = None,
+    random_configurations_per_graph: int = 3,
+    runs_per_configuration: int = 1,
+    seed: int = 0,
+    engine: str = "auto",
+    workers: Optional[int] = None,
+    max_n: Optional[int] = None,
+    horizon: Optional[int] = None,
+    dispatcher: Optional[Dispatcher] = None,
+) -> ExperimentReport:
+    """Measure SSME's stabilization under unfair-style schedulers.
+
+    The trial grid is emitted as :class:`~repro.jobs.JobSpec`s and executed
+    through ``dispatcher`` (cache/resume-aware) or a throwaway uncached
+    dispatcher with ``workers`` processes.  Worker processes and cached
+    jobs rebuild daemons by name from :data:`DEFAULT_DAEMON_FACTORIES`;
+    when custom ``daemon_factories`` are supplied the sweep therefore runs
+    inline and sequentially (factories hold closures that neither pickle
+    nor hash).  Reported numbers are identical for any ``workers`` value,
+    with or without cache.  ``max_n`` drops sweep entries larger than that
+    size; ``horizon`` overrides the per-graph step budget (the default is
+    Θ(n·(alpha+diam)), far below the cubic bound).
+    """
+    graphs, specs, daemon_factories = emit_jobs(
+        sweep=sweep,
+        daemon_factories=daemon_factories,
+        random_configurations_per_graph=random_configurations_per_graph,
+        runs_per_configuration=runs_per_configuration,
+        seed=seed,
+        engine=engine,
+        max_n=max_n,
+        horizon=horizon,
+    )
+    if uses_default_factories(daemon_factories):
+        if dispatcher is None:
+            with Dispatcher(workers=workers) as local:
+                results = local.run(specs, label=EXPERIMENT_ID)
+        else:
+            results = dispatcher.run(specs, label=EXPERIMENT_ID)
+    else:
+        # Inline path for closure-holding factories: same trial order, same
+        # pre-drawn seeds, protocol/spec objects reused per graph.
+        factories = dict(daemon_factories)
+        results = []
+        for info in graphs:
+            protocol = _cached_protocol(info["topology"], info["size"])
+            mutex_specification = MutualExclusionSpec(protocol)
+            unison_specification = AsynchronousUnisonSpec(protocol)
+            first, last = info["tasks"]
+            for spec in specs[first:last]:
+                results.append(
+                    list(
+                        _run_unfair_trial(
+                            protocol,
+                            mutex_specification,
+                            unison_specification,
+                            factories[spec.daemon](),
+                            spec.param("initial"),
+                            spec.seeds[0],
+                            spec.param("engine"),
+                            spec.horizon,
+                        )
+                    )
+                )
+    return _aggregate(graphs, results, daemon_factories)

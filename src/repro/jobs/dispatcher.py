@@ -1,0 +1,223 @@
+"""The dispatcher: cache partitioning, worker fan-out, checkpointing.
+
+:meth:`Dispatcher.run` takes an ordered :class:`~repro.jobs.spec.JobSpec`
+list and returns the matching ordered result list:
+
+1. **Partition** — with a :class:`~repro.jobs.store.ResultStore` attached
+   (and ``refresh`` off), every spec whose ``spec_key`` has a valid cache
+   entry is a *hit* and is never executed; the rest are *misses*.
+2. **Execute** — misses run through the persistent
+   :class:`~repro.jobs.pool.WorkerPool` (sequential by default,
+   process-parallel when the dispatcher was built with ``workers > 1``).
+   The worker function is :func:`execute_job`, which rebuilds the spec
+   from its dictionary form and resolves the spec's ``runner`` reference
+   inside the worker process.
+3. **Checkpoint** — each completed miss is written to the store and the
+   sweep journal *as it completes*, so killing a sweep loses only the
+   in-flight jobs; re-running the same command resumes from the completed
+   ones (they partition as hits).
+4. **Normalize** — every result (fresh or cached) is round-tripped
+   through JSON before being returned, so cache hits, fresh sequential
+   runs and fresh parallel runs hand the aggregating driver *identical*
+   values (same types, same key order) — the bit-for-bit report guarantee
+   rests on this plus the callers' pre-drawn-seed discipline.
+
+``dispatcher.last_stats`` records the hit/miss split of the most recent
+``run`` (and ``stats`` the running totals), which the CI cache-smoke step
+and the cache-correctness tests assert on.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence
+
+from ..exceptions import JobError
+from .pool import WorkerPool
+from .spec import JobSpec
+from .store import Journal, ResultStore
+
+__all__ = ["Dispatcher", "DispatchStats", "ProgressEvent", "execute_job", "resolve_runner"]
+
+
+class ProgressEvent(NamedTuple):
+    """One streamed progress notification (``kind`` ∈ begin/hit/done/end)."""
+
+    kind: str
+    completed: int
+    total: int
+    spec: Optional[JobSpec] = None
+    cached: bool = False
+
+
+@dataclass
+class DispatchStats:
+    """Hit/miss accounting for one (or many accumulated) dispatches."""
+
+    total: int = 0
+    hits: int = 0
+    executed: int = 0
+    sweeps: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.total - self.hits
+
+    def add(self, other: "DispatchStats") -> None:
+        self.total += other.total
+        self.hits += other.hits
+        self.executed += other.executed
+        self.sweeps += other.sweeps
+
+    @property
+    def all_hits(self) -> bool:
+        """True when the dispatch was served entirely from the cache."""
+        return self.total > 0 and self.hits == self.total
+
+
+def resolve_runner(reference: str) -> Callable[[JobSpec], Any]:
+    """Resolve a ``"package.module:function"`` runner reference."""
+    module_name, _, function_name = reference.partition(":")
+    if not module_name or not function_name:
+        raise JobError(f"malformed runner reference {reference!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise JobError(f"cannot import runner module {module_name!r}: {exc}") from exc
+    runner = getattr(module, function_name, None)
+    if not callable(runner):
+        raise JobError(
+            f"runner reference {reference!r} does not name a callable"
+        )
+    return runner
+
+
+def execute_job(payload: Dict[str, Any]) -> Any:
+    """Execute one job from its dictionary form (the pool's worker
+    function — module-level and picklable; runs in worker processes)."""
+    spec = JobSpec.from_dict(payload)
+    return resolve_runner(spec.runner)(spec)
+
+
+def _normalize(result: Any) -> Any:
+    """JSON round-trip so fresh and cached results are indistinguishable."""
+    return json.loads(json.dumps(result))
+
+
+class Dispatcher:
+    """Runs job lists through cache + worker pool with ordered results.
+
+    Parameters
+    ----------
+    store:
+        Result cache — a :class:`ResultStore`, a path for one, or ``None``
+        to execute everything (no caching, no journal).
+    workers:
+        Worker-pool width (``None``/``0``/``1`` = sequential in-process).
+        An already-built :class:`WorkerPool` may be passed instead via
+        ``pool`` to share it across dispatchers.
+    refresh:
+        When True, ignore existing cache entries (recompute and rewrite
+        them) — the CLI's ``--refresh``.
+    progress:
+        Optional callable receiving :class:`ProgressEvent`s as the sweep
+        advances (completion order under parallelism).
+    """
+
+    def __init__(
+        self,
+        store: Optional[object] = None,
+        workers: Optional[int] = None,
+        refresh: bool = False,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
+        pool: Optional[WorkerPool] = None,
+    ) -> None:
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store: Optional[ResultStore] = store
+        self.journal = Journal(store.root) if store is not None else None
+        self.refresh = refresh
+        self.progress = progress
+        self.pool = pool if pool is not None else WorkerPool(workers)
+        self.stats = DispatchStats()
+        self.last_stats = DispatchStats()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _emit(self, event: ProgressEvent) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    def run(self, specs: Sequence[JobSpec], label: str = "") -> List[Any]:
+        """Execute ``specs`` (cache-aware) and return results in order."""
+        specs = list(specs)
+        total = len(specs)
+        stats = DispatchStats(total=total, sweeps=1)
+        results: List[Any] = [None] * total
+        misses: List[int] = []
+
+        sweep_key = None
+        if self.store is not None and specs:
+            sweep_key = Journal.sweep_key(specs)
+            self.journal.begin(sweep_key, specs, label=label)
+
+        self._emit(ProgressEvent("begin", 0, total))
+        completed = 0
+        for index, spec in enumerate(specs):
+            cached = None
+            if self.store is not None and not self.refresh:
+                cached = self.store.get(spec.spec_key)
+            if cached is not None:
+                results[index] = cached
+                stats.hits += 1
+                completed += 1
+                if sweep_key is not None:
+                    self.journal.record_done(sweep_key, spec.spec_key, cached=True)
+                self._emit(
+                    ProgressEvent("hit", completed, total, spec=spec, cached=True)
+                )
+            else:
+                misses.append(index)
+
+        if misses:
+            payloads = [specs[index].to_dict() for index in misses]
+            progress_state = {"completed": completed}
+
+            def on_result(position: int, result: Any) -> None:
+                index = misses[position]
+                spec = specs[index]
+                if self.store is not None:
+                    self.store.put(spec, result)
+                if sweep_key is not None:
+                    self.journal.record_done(sweep_key, spec.spec_key, cached=False)
+                progress_state["completed"] += 1
+                self._emit(
+                    ProgressEvent(
+                        "done", progress_state["completed"], total, spec=spec
+                    )
+                )
+
+            executed = self.pool.run(execute_job, payloads, on_result=on_result)
+            stats.executed = len(executed)
+            for position, index in enumerate(misses):
+                results[index] = executed[position]
+
+        self._emit(ProgressEvent("end", total, total))
+        self.last_stats = stats
+        self.stats.add(stats)
+        return [_normalize(result) for result in results]

@@ -1,0 +1,213 @@
+"""Declarative, content-addressed experiment job specifications.
+
+A :class:`JobSpec` is the unit of work of the experiment service layer: one
+simulation (or verification) task described entirely by data — protocol
+family, graph spec, daemon spec, pre-drawn seeds, horizon, metric set, and
+a driver-specific parameter bag.  Because every seed is drawn by the
+*emitting* driver in its sequential order and recorded in the spec, running
+a spec is a pure function of the spec: sequential, process-parallel and
+resumed executions all produce the same result, which is what makes the
+content-addressed cache sound.
+
+The identity of a spec is its :attr:`~JobSpec.spec_key`: the SHA-256 of its
+canonical JSON form.  The key folds in
+
+* the ``runner`` reference (``"package.module:function"``), so two drivers
+  whose specs happen to coincide never collide, and
+* the per-driver ``code_version`` tag, so bumping the tag after a
+  behavioural change to the driver/runner invalidates exactly that
+  driver's cached results and nothing else.
+
+Canonical JSON means: sorted keys, no whitespace, tuples rendered as JSON
+arrays.  Specs are frozen and hashable; nested values are recursively
+frozen (lists → tuples, mappings → sorted key/value pair tuples) on
+construction, and :meth:`JobSpec.from_dict` re-freezes JSON data, so a
+spec that round-trips through its dictionary form has the same key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..exceptions import JobError
+
+__all__ = ["JobSpec", "canonical_json", "freeze"]
+
+
+def freeze(value: Any) -> Any:
+    """Recursively convert ``value`` into an immutable, hashable form.
+
+    Mappings become tuples of ``(key, frozen_value)`` pairs sorted by key;
+    lists, tuples and sets become tuples of frozen elements (sets are
+    sorted first — they carry no order).  Scalars pass through.
+    """
+    if isinstance(value, Mapping):
+        return tuple((key, freeze(item)) for key, item in sorted(value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(freeze(item) for item in sorted(value))
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise JobError(f"value of type {type(value).__name__} cannot go into a JobSpec: {value!r}")
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of the JSON rendering: arrays (back) to tuples."""
+    if isinstance(value, list):
+        return tuple(_thaw(item) for item in value)
+    return value
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Frozen values as plain JSON data (tuples rendered as arrays)."""
+    if isinstance(value, tuple):
+        return [_to_jsonable(item) for item in value]
+    return value
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical (deterministic) JSON rendering used for hashing."""
+    return json.dumps(
+        _to_jsonable(data), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One declarative experiment job.
+
+    Attributes
+    ----------
+    runner:
+        ``"package.module:function"`` reference to the module-level function
+        executing the spec (it receives the spec, returns a JSON-serializable
+        result).  Resolved inside worker processes, so it must be importable.
+    code_version:
+        Per-driver version tag folded into :attr:`spec_key`; bump it when
+        the runner's behaviour changes so stale cached results miss.
+    protocol:
+        Protocol family name (``"ssme"``, ``"dijkstra"``, ...).
+    graph:
+        Graph specification (e.g. ``{"topology": "ring", "n": 10}``).
+    daemon:
+        Daemon specification (a name such as ``"synchronous"``/``"cd-adv"``,
+        or any frozen structure for parameterized daemons).
+    seeds:
+        Every RNG seed the job consumes, pre-drawn by the emitting driver in
+        its sequential draw order.
+    horizon:
+        Step budget (``None`` when the job computes its own).
+    metrics:
+        Names of the quantities the job reports — part of the identity so
+        widening a job's metric set re-runs it.
+    params:
+        Driver-specific payload (initial configurations, flags, sizes ...).
+    """
+
+    runner: str
+    code_version: str
+    protocol: str
+    graph: Any = ()
+    daemon: Any = ()
+    seeds: Tuple[int, ...] = ()
+    horizon: Optional[int] = None
+    metrics: Tuple[str, ...] = ()
+    params: Any = ()
+    # Cached lazily; excluded from equality/hash/repr.
+    _spec_key: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.runner or ":" not in self.runner:
+            raise JobError(
+                f"runner must be a 'module:function' reference, got {self.runner!r}"
+            )
+        if not self.code_version:
+            raise JobError("code_version must be non-empty")
+        if not self.protocol:
+            raise JobError("protocol must be non-empty")
+        object.__setattr__(self, "graph", freeze(self.graph))
+        object.__setattr__(self, "daemon", freeze(self.daemon))
+        object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
+        object.__setattr__(self, "metrics", tuple(str(m) for m in self.metrics))
+        object.__setattr__(self, "params", freeze(self.params))
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as plain JSON data (tuples rendered as arrays)."""
+        return {
+            "runner": self.runner,
+            "code_version": self.code_version,
+            "protocol": self.protocol,
+            "graph": _to_jsonable(self.graph),
+            "daemon": _to_jsonable(self.daemon),
+            "seeds": list(self.seeds),
+            "horizon": self.horizon,
+            "metrics": list(self.metrics),
+            "params": _to_jsonable(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        """Rebuild a spec from :meth:`to_dict` data (JSON arrays re-frozen
+        to tuples, so the round-tripped spec compares and hashes equal)."""
+        try:
+            return cls(
+                runner=data["runner"],
+                code_version=data["code_version"],
+                protocol=data["protocol"],
+                graph=_thaw(data.get("graph", ())),
+                daemon=_thaw(data.get("daemon", ())),
+                seeds=tuple(data.get("seeds", ())),
+                horizon=data.get("horizon"),
+                metrics=tuple(data.get("metrics", ())),
+                params=_thaw(data.get("params", ())),
+            )
+        except KeyError as exc:
+            raise JobError(f"job spec data is missing field {exc}") from None
+
+    def canonical_json(self) -> str:
+        """Canonical JSON form — the hashed content."""
+        return canonical_json(self.to_dict())
+
+    @property
+    def spec_key(self) -> str:
+        """Stable content hash identifying this job (SHA-256 hex)."""
+        key = self._spec_key
+        if key is None:
+            key = hashlib.sha256(self.canonical_json().encode("ascii")).hexdigest()
+            object.__setattr__(self, "_spec_key", key)
+        return key
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look up ``name`` in the frozen ``params`` pair-tuple."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def graph_item(self, name: str, default: Any = None) -> Any:
+        """Look up ``name`` in the frozen ``graph`` pair-tuple."""
+        for key, value in self.graph:
+            if key == name:
+                return value
+        return default
+
+    def describe(self) -> str:
+        """One-line human description (CLI listings, error context)."""
+        graph = dict(self.graph) if isinstance(self.graph, tuple) else self.graph
+        return (
+            f"{self.runner.rsplit(':', 1)[0].rsplit('.', 1)[-1]}"
+            f"[{self.protocol} × {graph} × {self.daemon}] "
+            f"key={self.spec_key[:12]}"
+        )

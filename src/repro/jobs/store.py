@@ -1,0 +1,252 @@
+"""Content-addressed on-disk result cache and sweep journals.
+
+:class:`ResultStore` maps a job's ``spec_key`` to its JSON result under a
+cache directory (default ``.repro-cache/``):
+
+* **content-addressed layout** — ``results/<key[:2]>/<key>.json``, one
+  entry per spec; the entry embeds the full spec so ``jobs list`` can
+  describe the cache without re-deriving anything;
+* **atomic writes** — results are written to a temp file in the target
+  directory and ``os.replace``d into place, so a killed sweep never leaves
+  a half-written entry (a truncated entry from any other cause reads as a
+  miss and is recomputed);
+* **versioned schema** — entries record ``schema``; entries with a
+  different schema (or a ``spec_key`` mismatching their filename) are
+  treated as misses.
+
+:class:`Journal` is the resume/status side-channel: a sweep (an ordered
+job list) is identified by the hash of its spec keys, and every completed
+job appends one line to ``journals/<sweep_key>.jsonl``.  Interrupting a
+sweep loses nothing — results already sit in the store — and ``jobs
+status`` reads the journals to report per-sweep completion without
+touching any simulation code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from .spec import JobSpec
+
+__all__ = ["ResultStore", "Journal", "DEFAULT_CACHE_DIR", "SCHEMA_VERSION"]
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Schema version of on-disk entries; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """Content-addressed cache of job results keyed on ``spec_key``."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    def path_for(self, spec_key: str) -> Path:
+        return self.results_dir / spec_key[:2] / f"{spec_key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def entry(self, spec_key: str) -> Optional[Dict[str, Any]]:
+        """The full on-disk entry for ``spec_key``, or ``None``.
+
+        Any defect — missing file, truncated/corrupt JSON, wrong schema,
+        key mismatch — reads as ``None``: the dispatcher recomputes and
+        rewrites the entry instead of crashing.
+        """
+        path = self.path_for(spec_key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != SCHEMA_VERSION or entry.get("spec_key") != spec_key:
+            return None
+        if "result" not in entry:
+            return None
+        return entry
+
+    def get(self, spec_key: str) -> Optional[Any]:
+        """The cached result for ``spec_key`` (``None`` on any miss)."""
+        entry = self.entry(spec_key)
+        return None if entry is None else entry["result"]
+
+    def contains(self, spec_key: str) -> bool:
+        return self.entry(spec_key) is not None
+
+    def put(self, spec: JobSpec, result: Any) -> Path:
+        """Atomically persist ``result`` under the spec's key."""
+        path = self.path_for(spec.spec_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "spec_key": spec.spec_key,
+            "spec": spec.to_dict(),
+            "result": result,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{spec.spec_key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                # No sort_keys: the result's own key order is part of what
+                # round-trips (drivers render rows in insertion order).
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def discard(self, spec_key: str) -> bool:
+        """Drop one entry; True when something was removed."""
+        try:
+            os.unlink(self.path_for(spec_key))
+            return True
+        except OSError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        """Every spec key with an entry on disk (defective entries skipped)."""
+        if not self.results_dir.is_dir():
+            return
+        for shard in sorted(self.results_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                key = path.stem
+                if self.entry(key) is not None:
+                    yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Remove every cached result (and journal); returns entry count."""
+        count = len(self)
+        shutil.rmtree(self.root, ignore_errors=True)
+        return count
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"
+
+
+class Journal:
+    """Append-only per-sweep completion log used for resume and status."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    @property
+    def journals_dir(self) -> Path:
+        return self.root / "journals"
+
+    @staticmethod
+    def sweep_key(specs: Sequence[JobSpec]) -> str:
+        """Content hash identifying a sweep (its ordered job list)."""
+        digest = hashlib.sha256()
+        for spec in specs:
+            digest.update(spec.spec_key.encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def path_for(self, sweep_key: str) -> Path:
+        return self.journals_dir / f"{sweep_key}.jsonl"
+
+    def _append(self, sweep_key: str, record: Dict[str, Any]) -> None:
+        path = self.path_for(sweep_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+            handle.write("\n")
+
+    def begin(self, sweep_key: str, specs: Sequence[JobSpec], label: str = "") -> None:
+        """Record the sweep's membership (idempotent across resumes —
+        every attempt appends a ``begin`` line; readers take the last)."""
+        self._append(
+            sweep_key,
+            {
+                "event": "begin",
+                "label": label,
+                "total": len(specs),
+                "spec_keys": [spec.spec_key for spec in specs],
+            },
+        )
+
+    def record_done(self, sweep_key: str, spec_key: str, cached: bool) -> None:
+        self._append(
+            sweep_key, {"event": "done", "spec_key": spec_key, "cached": cached}
+        )
+
+    def read(self, sweep_key: str) -> List[Dict[str, Any]]:
+        """Every well-formed record of the sweep's journal (truncated
+        trailing lines from a kill mid-append are skipped)."""
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(self.path_for(sweep_key), "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict):
+                        records.append(record)
+        except OSError:
+            pass
+        return records
+
+    def completed(self, sweep_key: str) -> set:
+        """Spec keys the journal records as done for this sweep."""
+        return {
+            record["spec_key"]
+            for record in self.read(sweep_key)
+            if record.get("event") == "done" and "spec_key" in record
+        }
+
+    def status(self) -> List[Dict[str, Any]]:
+        """Per-sweep progress summaries (for ``jobs status``)."""
+        summaries: List[Dict[str, Any]] = []
+        if not self.journals_dir.is_dir():
+            return summaries
+        for path in sorted(self.journals_dir.glob("*.jsonl")):
+            sweep_key = path.stem
+            records = self.read(sweep_key)
+            begin = None
+            for record in records:
+                if record.get("event") == "begin":
+                    begin = record
+            done = self.completed(sweep_key)
+            total = (begin or {}).get("total", len(done))
+            summaries.append(
+                {
+                    "sweep_key": sweep_key,
+                    "label": (begin or {}).get("label", ""),
+                    "total": total,
+                    "done": len(done),
+                    "complete": total == len(done),
+                }
+            )
+        return summaries

@@ -1,0 +1,184 @@
+"""Cache-correctness tests for the experiment drivers on the job layer.
+
+The properties the service layer guarantees:
+
+* running the same sweep spec twice against the same cache performs
+  **zero simulation work** the second time (asserted with a counting stub
+  around the trial kernel, not just timing);
+* changing any spec field — or bumping a driver's ``CODE_VERSION`` — is a
+  cache miss;
+* a corrupted or truncated cache entry is recomputed, never a crash;
+* sequential, process-parallel and kill-then-resume executions of a
+  driver produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import exact_small_n, theorem2_sync_upper
+from repro.experiments.reporting import run_all_experiments
+from repro.jobs import Dispatcher, ResultStore
+from repro.jobs.dispatcher import execute_job
+
+SWEEP = (("ring", 6), ("star", 5))
+KW = dict(sweep=SWEEP, random_configurations_per_graph=2, seed=17)
+
+
+def run_t2(dispatcher=None, **extra):
+    kwargs = dict(KW, **extra)
+    if dispatcher is not None:
+        kwargs["dispatcher"] = dispatcher
+    return theorem2_sync_upper.run_experiment(**kwargs)
+
+
+class TestWarmCacheDoesNoWork:
+    def test_second_run_skips_every_simulation(self, tmp_path, monkeypatch):
+        calls = {"count": 0}
+        real_trial = theorem2_sync_upper._run_sync_trial
+
+        def counting_trial(*args, **kwargs):
+            calls["count"] += 1
+            return real_trial(*args, **kwargs)
+
+        monkeypatch.setattr(theorem2_sync_upper, "_run_sync_trial", counting_trial)
+        with Dispatcher(store=tmp_path) as dispatcher:
+            cold = run_t2(dispatcher)
+            cold_calls = calls["count"]
+            assert cold_calls > 0
+            warm = run_t2(dispatcher)
+        assert calls["count"] == cold_calls, "warm run re-simulated something"
+        assert dispatcher.last_stats.all_hits
+        assert dispatcher.last_stats.executed == 0
+        assert warm.to_markdown() == cold.to_markdown()
+
+    def test_cache_shared_across_dispatchers(self, tmp_path):
+        with Dispatcher(store=tmp_path) as dispatcher:
+            run_t2(dispatcher)
+        with Dispatcher(store=tmp_path) as dispatcher:
+            run_t2(dispatcher)
+            assert dispatcher.last_stats.all_hits
+
+
+class TestCacheInvalidation:
+    def test_changed_seed_misses(self, tmp_path):
+        with Dispatcher(store=tmp_path) as dispatcher:
+            run_t2(dispatcher)
+            run_t2(dispatcher, seed=18)
+            assert dispatcher.last_stats.hits == 0
+
+    def test_changed_sweep_misses(self, tmp_path):
+        with Dispatcher(store=tmp_path) as dispatcher:
+            run_t2(dispatcher)
+            theorem2_sync_upper.run_experiment(
+                sweep=(("ring", 7),),
+                random_configurations_per_graph=2,
+                seed=17,
+                dispatcher=dispatcher,
+            )
+            assert dispatcher.last_stats.hits == 0
+
+    def test_code_version_bump_misses(self, tmp_path, monkeypatch):
+        with Dispatcher(store=tmp_path) as dispatcher:
+            run_t2(dispatcher)
+        monkeypatch.setattr(theorem2_sync_upper, "CODE_VERSION", "theorem2/999")
+        with Dispatcher(store=tmp_path) as dispatcher:
+            run_t2(dispatcher)
+            assert dispatcher.last_stats.hits == 0
+            assert dispatcher.last_stats.executed == dispatcher.last_stats.total
+
+    def test_refresh_recomputes_and_rewrites(self, tmp_path):
+        with Dispatcher(store=tmp_path) as dispatcher:
+            cold = run_t2(dispatcher)
+        with Dispatcher(store=tmp_path, refresh=True) as dispatcher:
+            refreshed = run_t2(dispatcher)
+            assert dispatcher.last_stats.hits == 0
+        assert refreshed.to_markdown() == cold.to_markdown()
+
+
+class TestCacheDefects:
+    def test_corrupted_entries_recomputed_not_crash(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with Dispatcher(store=store) as dispatcher:
+            cold = run_t2(dispatcher)
+        # corrupt one entry, truncate another
+        keys = list(store.keys())
+        store.path_for(keys[0]).write_text("{not json", encoding="utf-8")
+        raw = store.path_for(keys[1]).read_bytes()
+        store.path_for(keys[1]).write_bytes(raw[: len(raw) // 2])
+        with Dispatcher(store=store) as dispatcher:
+            repaired = run_t2(dispatcher)
+            assert dispatcher.last_stats.executed == 2
+            assert dispatcher.last_stats.hits == dispatcher.last_stats.total - 2
+        assert repaired.to_markdown() == cold.to_markdown()
+        # the defective entries were rewritten
+        assert store.get(keys[0]) is not None
+        assert store.get(keys[1]) is not None
+
+
+class TestExecutionModesAreByteIdentical:
+    def test_sequential_parallel_resumed_cached_identical(self, tmp_path):
+        sequential = run_t2().to_markdown()
+
+        with Dispatcher(workers=4) as dispatcher:
+            parallel = run_t2(dispatcher).to_markdown()
+        assert parallel == sequential
+
+        # kill-then-resume: half the jobs already sit in the store, as if a
+        # previous sweep was interrupted midway
+        store = ResultStore(tmp_path)
+        _graphs, specs = theorem2_sync_upper.emit_jobs(**KW)
+        for spec in specs[: len(specs) // 2]:
+            store.put(spec, execute_job(spec.to_dict()))
+        with Dispatcher(store=store) as dispatcher:
+            resumed = run_t2(dispatcher).to_markdown()
+            assert dispatcher.last_stats.hits == len(specs) // 2
+        assert resumed == sequential
+
+        # fully warm cache
+        with Dispatcher(store=store) as dispatcher:
+            cached = run_t2(dispatcher).to_markdown()
+            assert dispatcher.last_stats.all_hits
+        assert cached == sequential
+
+    def test_exact_small_n_modes_identical(self, tmp_path):
+        sequential = exact_small_n.run_experiment().to_markdown()
+        parallel = exact_small_n.run_experiment(workers=4).to_markdown()
+        with Dispatcher(store=tmp_path) as dispatcher:
+            cold = exact_small_n.run_experiment(dispatcher=dispatcher).to_markdown()
+            warm = exact_small_n.run_experiment(dispatcher=dispatcher).to_markdown()
+            assert dispatcher.last_stats.all_hits
+        assert sequential == parallel == cold == warm
+
+
+class TestRunAllExperimentsPlumbing:
+    def test_unknown_id_raises_experiment_error(self):
+        with pytest.raises(ExperimentError) as info:
+            run_all_experiments(only=["E3", "E99"])
+        message = str(info.value)
+        assert "E99" in message
+        assert "E1" in message and "E8" in message
+
+    def test_cache_path_plumbed_through(self, tmp_path):
+        cache = tmp_path / "cache"
+        (report,) = run_all_experiments(only=["E8"], cache=str(cache))
+        assert cache.is_dir()
+        assert len(ResultStore(cache)) > 0
+        # second run: same report from a warm cache
+        (again,) = run_all_experiments(only=["E8"], cache=str(cache))
+        assert again.to_markdown() == report.to_markdown()
+
+    def test_prebuilt_dispatcher_survives(self, tmp_path):
+        with Dispatcher(store=tmp_path) as dispatcher:
+            run_all_experiments(only=["E8"], dispatcher=dispatcher)
+            # run_all_experiments must not close a dispatcher it was handed
+            run_all_experiments(only=["E8"], dispatcher=dispatcher)
+            assert dispatcher.last_stats.all_hits
+
+    def test_progress_events_forwarded(self, tmp_path):
+        events = []
+        run_all_experiments(only=["E8"], cache=str(tmp_path), progress=events.append)
+        assert any(event.kind == "done" for event in events)

@@ -190,3 +190,26 @@ class TestReporting:
         assert "# EXPERIMENTS" in markdown
         assert "### E1" in markdown
         assert "PASS" in markdown
+
+    def test_unknown_experiment_id_is_a_clear_error(self):
+        with pytest.raises(ExperimentError) as info:
+            run_all_experiments(only=["E42"])
+        message = str(info.value)
+        assert "'E42'" in message
+        # the error enumerates the valid ids
+        for experiment_id in EXPERIMENT_DRIVERS:
+            assert experiment_id in message
+
+    def test_drivers_declare_capabilities(self):
+        for driver in EXPERIMENT_DRIVERS.values():
+            assert driver.capabilities <= {"dispatcher", "workers", "max_n", "horizon"}
+        assert "dispatcher" in EXPERIMENT_DRIVERS["E3"].capabilities
+        assert EXPERIMENT_DRIVERS["E1"].capabilities == frozenset()
+
+    def test_report_dict_round_trip(self):
+        (report,) = run_all_experiments(only=["E1"])
+        rebuilt = ExperimentReport.from_dict(report.to_dict())
+        assert rebuilt.to_markdown() == report.to_markdown()
+        assert rebuilt.to_dict() == report.to_dict()
+        with pytest.raises(ExperimentError):
+            ExperimentReport.from_dict({"title": "no id"})

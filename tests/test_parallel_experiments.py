@@ -18,6 +18,10 @@ def _square(x):
     return x * x
 
 
+def _reciprocal(x):
+    return 1 / x
+
+
 class TestParallelMap:
     def test_sequential_default_preserves_order(self):
         assert parallel_map(_square, [3, 1, 2]) == [9, 1, 4]
@@ -32,6 +36,23 @@ class TestParallelMap:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
             parallel_map(_square, [1], workers=-1)
+
+    def test_worker_failure_names_the_task(self):
+        from repro.exceptions import JobError
+
+        with pytest.raises(JobError) as info:
+            parallel_map(_reciprocal, [2, 1, 0, 5])
+        message = str(info.value)
+        assert "task 2" in message
+        assert "0" in message
+        assert isinstance(info.value.__cause__, ZeroDivisionError)
+
+    def test_worker_failure_in_subprocess_names_the_task(self):
+        from repro.exceptions import JobError
+
+        with pytest.raises(JobError) as info:
+            parallel_map(_reciprocal, [2, 1, 0, 5], workers=2)
+        assert "ZeroDivisionError" in str(info.value)
 
 
 class TestTheoremDriversParallel:
