@@ -27,7 +27,9 @@ The library provides:
   (:mod:`repro.verify`);
 * measurement, speculation analysis and the experiment harness reproducing
   every quantitative claim of the paper (:mod:`repro.analysis`,
-  :mod:`repro.experiments`).
+  :mod:`repro.experiments`);
+* fault campaigns: recurring fault schedules, topology churn and the named
+  scenario registry behind the E9 experiment (:mod:`repro.scenarios`).
 
 Quickstart
 ----------
@@ -72,6 +74,7 @@ from .verify import (
     verify_stabilization,
 )
 from .jobs import Dispatcher, JobSpec, ResultStore, WorkerPool
+from .scenarios import ChurnEvent, FaultSchedule, Scenario, run_campaign, run_scenario
 from .exceptions import ReproError
 
 __version__ = "1.0.0"
@@ -84,12 +87,14 @@ __all__ = [
     "BfsTreeSpec",
     "BoundedClock",
     "CentralDaemon",
+    "ChurnEvent",
     "Configuration",
     "Daemon",
     "DijkstraTokenRing",
     "Dispatcher",
     "DistributedDaemon",
     "Execution",
+    "FaultSchedule",
     "Graph",
     "JobSpec",
     "LocallyCentralDaemon",
@@ -103,6 +108,7 @@ __all__ = [
     "RoundRobinCentralDaemon",
     "Rule",
     "SSME",
+    "Scenario",
     "SilentSpecification",
     "Simulator",
     "Specification",
@@ -113,6 +119,8 @@ __all__ = [
     "exact_speculation_gap",
     "exact_worst_case_stabilization",
     "measure_stabilization",
+    "run_campaign",
+    "run_scenario",
     "run_speculation_study",
     "verify_stabilization",
     "worst_case_stabilization",

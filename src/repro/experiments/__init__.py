@@ -2,12 +2,13 @@
 
 from .runner import ExperimentReport
 from .workloads import mutex_workload, perturbed_configurations, random_configurations
-from .faults import FAULT_MODELS, apply_fault
+from .faults import FAULT_MODELS, FAULT_MODEL_PARAMS, apply_fault
 from .parallel import parallel_map
 from . import (
     ablation_privilege_spacing,
     dijkstra_comparison,
     exact_small_n,
+    fault_campaigns,
     figure1_clock,
     table_speculative_examples,
     theorem2_sync_upper,
@@ -26,10 +27,12 @@ __all__ = [
     "ExperimentDriver",
     "ExperimentReport",
     "FAULT_MODELS",
+    "FAULT_MODEL_PARAMS",
     "ablation_privilege_spacing",
     "apply_fault",
     "dijkstra_comparison",
     "exact_small_n",
+    "fault_campaigns",
     "figure1_clock",
     "mutex_workload",
     "parallel_map",

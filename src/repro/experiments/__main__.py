@@ -7,7 +7,7 @@ Usage::
     python -m repro.experiments --write PATH    # also write the Markdown report to PATH
                                                 # (use EXPERIMENTS.md at the repo root)
 
-Caching and resume (job-based drivers E3/E4/E6/E8)::
+Caching and resume (job-based drivers E3/E4/E6/E8/E9)::
 
     python -m repro.experiments --cache .repro-cache   # content-addressed result cache:
                                                        # repeats re-simulate nothing and an
@@ -22,11 +22,19 @@ Cache inspection::
     python -m repro.experiments jobs list              # cached job results
     python -m repro.experiments jobs status            # per-sweep journal progress
     python -m repro.experiments jobs clear-cache       # drop the cache (and journals)
+
+Fault-campaign scenarios (the E9 registry)::
+
+    python -m repro.experiments scenarios list             # named campaign workloads
+    python -m repro.experiments scenarios list --tier smoke
+    python -m repro.experiments scenarios run NAME         # run one campaign
+    python -m repro.experiments scenarios run NAME --engine reference --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -101,10 +109,94 @@ def jobs_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def scenarios_main(argv: Sequence[str]) -> int:
+    """The ``scenarios`` subcommand: list and run named fault campaigns."""
+    from ..scenarios import get_scenario, list_scenarios
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments scenarios",
+        description="List and run the named fault-campaign scenarios (E9).",
+    )
+    subcommands = parser.add_subparsers(dest="action", required=True)
+    list_parser = subcommands.add_parser(
+        "list", help="list registered scenarios (name, tier, shape)"
+    )
+    list_parser.add_argument(
+        "--tier",
+        choices=("smoke", "full"),
+        default=None,
+        help="only scenarios of this tier",
+    )
+    run_parser = subcommands.add_parser("run", help="run one scenario campaign")
+    run_parser.add_argument("name", help="registered scenario name")
+    run_parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=("auto", "reference", "incremental", "vector", "vector-superstep"),
+        help="simulation engine backend (default: auto)",
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full campaign result as JSON instead of a summary",
+    )
+    args = parser.parse_args(list(argv))
+
+    if args.action == "list":
+        scenarios = list_scenarios(args.tier)
+        for scenario in scenarios:
+            shape = []
+            if scenario.schedule is not None:
+                shape.append(f"{scenario.schedule.kind} {scenario.fault_model}")
+            if scenario.churn:
+                shape.append(f"{len(scenario.churn)} churn event(s)")
+            print(
+                f"{scenario.name:38s} [{scenario.tier:5s}] "
+                f"{scenario.protocol}/{scenario.topology}({scenario.n}) "
+                f"daemon={scenario.daemon} horizon={scenario.horizon}  "
+                f"{'; '.join(shape) or 'no events'}"
+            )
+        print(f"{len(scenarios)} scenario(s)")
+        return 0
+
+    # run
+    scenario = get_scenario(args.name)
+    result = scenario.run(engine=args.engine)
+    data = result.to_dict()
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(f"scenario {scenario.name}: {scenario.description}")
+        print(
+            f"  graph {scenario.topology}({scenario.n}) -> n={data['final_n']}, "
+            f"daemon={scenario.daemon}, horizon={data['horizon']}, "
+            f"engine={args.engine}"
+        )
+        print(
+            f"  availability={data['availability']:.4f}  "
+            f"longest_unsafe_window={data['longest_unsafe_window']}  "
+            f"max_recovery={data['max_recovery']}  "
+            f"final_safe={data['final_safe']}"
+        )
+        for event in data["events"]:
+            recovery = (
+                f"recovered in {event['recovery_time']}"
+                if event["recovery_time"] is not None
+                else f"NOT recovered within window ({event['window']})"
+            )
+            print(
+                f"  step {event['step']:>4}  {event['kind']:5s} "
+                f"{event['detail']:40s} {recovery}"
+            )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "jobs":
         return jobs_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        return scenarios_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -114,7 +206,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments",
         nargs="*",
         choices=list(EXPERIMENT_DRIVERS) + [[]],
-        help="experiment ids to run (default: all of E1..E8)",
+        help="experiment ids to run (default: all of E1..E9)",
     )
     parser.add_argument(
         "--write",
@@ -126,7 +218,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="fan the job-based sweeps (E3/E4/E6/E8) across this many "
+        help="fan the job-based sweeps (E3/E4/E6/E8/E9) across this many "
         "processes (results are identical; default: sequential)",
     )
     parser.add_argument(

@@ -8,14 +8,20 @@ configurations from a base configuration under named fault models, so the
 examples and experiments can report recovery times per fault class rather
 than only for the fully adversarial case.
 
-Every model is a pure function ``(protocol, base, rng) -> Configuration``
-and registered in :data:`FAULT_MODELS`.
+Every model is a pure function ``(protocol, base, rng, **params) ->
+Configuration`` and registered in :data:`FAULT_MODELS`;
+:data:`FAULT_MODEL_PARAMS` names the keyword parameters each model accepts,
+so scenario definitions (see :mod:`repro.scenarios`) can thread explicit
+parameter mappings through :func:`apply_fault` and get a clear error for a
+misspelled key.  Recurring fault *schedules* — the same models fired
+repeatedly over a run, interleaved with topology churn — live in
+:mod:`repro.scenarios.events`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional
 
 from ..core import Protocol
 from ..core.state import Configuration
@@ -29,16 +35,28 @@ __all__ = [
     "global_fault",
     "clock_skew_fault",
     "FAULT_MODELS",
+    "FAULT_MODEL_PARAMS",
     "apply_fault",
 ]
 
 
 def single_vertex_fault(
-    protocol: Protocol, base: Configuration, rng: random.Random
+    protocol: Protocol,
+    base: Configuration,
+    rng: random.Random,
+    count: int = 1,
 ) -> Configuration:
-    """Corrupt the state of one uniformly chosen vertex."""
-    vertex = rng.choice(sorted(protocol.graph.vertices, key=repr))
-    return base.updated({vertex: protocol.random_state(vertex, rng)})
+    """Corrupt the state of ``count`` uniformly chosen distinct vertices.
+
+    The default (``count=1``) is the classic single-node transient fault;
+    larger counts model independent (spatially uncorrelated) multi-node
+    faults — contrast :func:`localized_burst_fault` for correlated ones.
+    """
+    if count < 1:
+        raise ExperimentError("count must be >= 1")
+    vertices = sorted(protocol.graph.vertices, key=repr)
+    chosen = rng.sample(vertices, min(count, len(vertices)))
+    return base.updated({v: protocol.random_state(v, rng) for v in chosen})
 
 
 def localized_burst_fault(
@@ -46,15 +64,22 @@ def localized_burst_fault(
     base: Configuration,
     rng: random.Random,
     radius: Optional[int] = None,
+    diam: Optional[int] = None,
 ) -> Configuration:
     """Corrupt every vertex within ``radius`` hops of a random epicentre.
 
     Models a rack/region failure: the corruption is spatially correlated.
-    The default radius is a quarter of the diameter (at least 1).
+    The default radius is a quarter of the diameter (at least 1); callers
+    that already know the diameter — fault campaigns firing many bursts on
+    one large graph — pass it as ``diam`` so the O(n²) BFS sweep is not
+    recomputed per fault event (it is only consulted when ``radius`` is
+    defaulted).
     """
     graph = protocol.graph
     if radius is None:
-        radius = max(1, diameter(graph) // 4)
+        if diam is None:
+            diam = diameter(graph)
+        radius = max(1, diam // 4)
     epicentre = rng.choice(sorted(graph.vertices, key=repr))
     ball = graph.ball(epicentre, radius)
     return base.updated({v: protocol.random_state(v, rng) for v in ball})
@@ -77,13 +102,19 @@ def clock_skew_fault(
     """Advance each register by a random number of ``phi`` applications.
 
     Only meaningful for clock-based protocols (unison, SSME): it models
-    nodes that kept running while disconnected and drifted ahead.  For
-    protocols without a ``clock`` attribute the model degrades to a
-    :func:`single_vertex_fault`.
+    nodes that kept running while disconnected and drifted ahead.  Applying
+    it to a protocol without a bounded-clock (``phi``) structure raises a
+    clear :class:`~repro.exceptions.ExperimentError` naming the protocol —
+    there is no sensible skew semantics to degrade to, and a silent
+    substitute would misreport what a campaign actually injected.
     """
     clock = getattr(protocol, "clock", None)
     if clock is None:
-        return single_vertex_fault(protocol, base, rng)
+        raise ExperimentError(
+            f"clock-skew fault requires a clock-based protocol with a "
+            f"phi structure (unison/SSME); protocol {protocol.name!r} "
+            f"({type(protocol).__name__}) declares no clock"
+        )
     if max_skew < 0:
         raise ExperimentError("max_skew must be non-negative")
     changes = {
@@ -94,11 +125,21 @@ def clock_skew_fault(
 
 
 #: Named fault models usable by experiments and examples.
-FAULT_MODELS: Dict[str, Callable[[Protocol, Configuration, random.Random], Configuration]] = {
+FAULT_MODELS: Dict[str, Callable[..., Configuration]] = {
     "single-vertex": single_vertex_fault,
     "localized-burst": localized_burst_fault,
     "global": global_fault,
     "clock-skew": clock_skew_fault,
+}
+
+#: The keyword parameters each model accepts beyond ``(protocol, base,
+#: rng)``.  :func:`apply_fault` validates explicit parameter mappings
+#: against this table so scenario definitions fail fast on a typo.
+FAULT_MODEL_PARAMS: Dict[str, FrozenSet[str]] = {
+    "single-vertex": frozenset({"count"}),
+    "localized-burst": frozenset({"radius", "diam"}),
+    "global": frozenset(),
+    "clock-skew": frozenset({"max_skew"}),
 }
 
 
@@ -107,11 +148,28 @@ def apply_fault(
     protocol: Protocol,
     base: Configuration,
     rng: random.Random,
+    params: Optional[Mapping[str, Any]] = None,
 ) -> Configuration:
-    """Apply the named fault model to ``base``."""
+    """Apply the named fault model to ``base``.
+
+    ``params`` is an explicit keyword mapping threaded from scenario
+    definitions (fault radius, clock skew, burst size ...).  Unknown keys
+    raise an :class:`~repro.exceptions.ExperimentError` listing the valid
+    parameters of the model, so a misconfigured campaign fails at its first
+    fault event instead of silently running a different fault shape.
+    """
     try:
         model = FAULT_MODELS[name]
     except KeyError:
         known = ", ".join(sorted(FAULT_MODELS))
         raise ExperimentError(f"unknown fault model {name!r}; known: {known}") from None
-    return model(protocol, base, rng)
+    kwargs = dict(params or {})
+    valid = FAULT_MODEL_PARAMS[name]
+    unknown = sorted(set(kwargs) - valid)
+    if unknown:
+        accepted = ", ".join(sorted(valid)) if valid else "none"
+        raise ExperimentError(
+            f"unknown parameter(s) {', '.join(repr(k) for k in unknown)} for "
+            f"fault model {name!r}; valid parameters: {accepted}"
+        )
+    return model(protocol, base, rng, **kwargs)

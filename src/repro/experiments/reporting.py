@@ -1,6 +1,6 @@
 """Assembling the full paper-vs-measured report.
 
-``run_all_experiments`` executes every experiment driver (E1–E8) and
+``run_all_experiments`` executes every experiment driver (E1–E9) and
 ``render_experiments_markdown`` turns the reports into the Markdown document
 stored as ``EXPERIMENTS.md`` at the repository root.
 
@@ -25,6 +25,7 @@ from . import (
     ablation_privilege_spacing,
     dijkstra_comparison,
     exact_small_n,
+    fault_campaigns,
     figure1_clock,
     table_speculative_examples,
     theorem2_sync_upper,
@@ -75,7 +76,8 @@ class ExperimentDriver:
 
 #: The experiment drivers in presentation order.  E1–E6 reproduce paper
 #: artefacts; E7 is the ablation of the clock-size design choice; E8
-#: cross-validates the sampled sweeps against the exact model checker.
+#: cross-validates the sampled sweeps against the exact model checker; E9
+#: runs the named fault-campaign scenarios (recurring faults + churn).
 #: Drivers declaring ``dispatcher`` emit their trial grids as job specs
 #: and ride the shared cache/worker-pool service layer.
 EXPERIMENT_DRIVERS: Dict[str, ExperimentDriver] = {
@@ -101,6 +103,11 @@ EXPERIMENT_DRIVERS: Dict[str, ExperimentDriver] = {
     "E8": ExperimentDriver(
         "E8",
         exact_small_n.run_experiment,
+        capabilities=("dispatcher", "workers"),
+    ),
+    "E9": ExperimentDriver(
+        "E9",
+        fault_campaigns.run_experiment,
         capabilities=("dispatcher", "workers"),
     ),
 }

@@ -212,12 +212,16 @@ class Graph:
     # Derived graphs
     # ------------------------------------------------------------------ #
     def subgraph(self, vertices: Iterable[VertexId]) -> "Graph":
-        """The subgraph induced by ``vertices``."""
-        keep = [v for v in self._vertices if v in set(vertices)]
-        keep_set = set(keep)
-        for v in vertices:
+        """The subgraph induced by ``vertices``.
+
+        ``vertices`` may be any iterable (including a one-shot generator —
+        it is materialized exactly once).
+        """
+        keep_set = set(vertices)
+        for v in keep_set:
             if v not in self._adjacency:
                 raise GraphError(f"unknown vertex {v!r}")
+        keep = [v for v in self._vertices if v in keep_set]
         edges = [(u, v) for (u, v) in self._edges if u in keep_set and v in keep_set]
         return Graph(keep, edges)
 

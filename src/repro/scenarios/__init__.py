@@ -1,0 +1,85 @@
+"""Fault campaigns: recurring fault schedules, topology churn, registry.
+
+The scenario layer turns the one-shot fault models of
+:mod:`repro.experiments.faults` into *campaigns*: named, reproducible
+workloads where faults recur on a schedule and the topology itself churns
+mid-run, with safety streamed through
+:class:`~repro.core.SafetyMonitor` into recovery metrics.
+
+- :mod:`repro.scenarios.events` — declarative :class:`FaultSchedule` /
+  :class:`ChurnEvent` streams, compiled into a fully seeded timeline;
+- :mod:`repro.scenarios.campaign` — :func:`run_campaign` executes a
+  timeline against any engine backend (``reference`` is the from-scratch
+  oracle; ``incremental``/``vector`` absorb faults through their dirty-set
+  machinery and rebuild graph indices/codecs on churn);
+- :mod:`repro.scenarios.registry` — the named :class:`Scenario` registry
+  feeding the E9 driver's :class:`~repro.jobs.JobSpec` grid and the
+  ``scenarios list|run`` CLI.
+
+See ``docs/scenarios.md`` for the event-stream model, schedule semantics,
+the registry naming contract and the recovery-metric definitions.
+"""
+
+from .campaign import (
+    CampaignResult,
+    EventOutcome,
+    PROTOCOL_FAMILIES,
+    SafetyTimeline,
+    build_protocol,
+    build_specification,
+    campaign_stabilization_bound,
+    run_campaign,
+    transfer_configuration,
+)
+from .events import (
+    CHURN_KINDS,
+    ChurnEvent,
+    CompiledChurn,
+    CompiledEvent,
+    CompiledFault,
+    FaultSchedule,
+    MIN_CHURN_VERTICES,
+    SCHEDULE_KINDS,
+    apply_churn_to_graph,
+    compile_events,
+)
+from .registry import (
+    SCENARIO_TIERS,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    run_campaign_from_params,
+    run_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "CHURN_KINDS",
+    "CampaignResult",
+    "ChurnEvent",
+    "CompiledChurn",
+    "CompiledEvent",
+    "CompiledFault",
+    "EventOutcome",
+    "FaultSchedule",
+    "MIN_CHURN_VERTICES",
+    "PROTOCOL_FAMILIES",
+    "SCENARIOS",
+    "SCENARIO_TIERS",
+    "SCHEDULE_KINDS",
+    "SafetyTimeline",
+    "Scenario",
+    "apply_churn_to_graph",
+    "build_protocol",
+    "build_specification",
+    "campaign_stabilization_bound",
+    "compile_events",
+    "get_scenario",
+    "list_scenarios",
+    "run_campaign",
+    "run_campaign_from_params",
+    "run_scenario",
+    "scenario_names",
+    "transfer_configuration",
+]

@@ -1,0 +1,520 @@
+"""Executing a compiled event timeline against the simulation engines.
+
+:func:`run_campaign` replays a compiled fault/churn timeline
+(:func:`~repro.scenarios.events.compile_events`) over a run of ``horizon``
+daemon steps, split into *segments* between event boundaries:
+
+- at a **fault** boundary the current configuration is corrupted in place
+  via :func:`~repro.experiments.faults.apply_fault` and the same engine
+  simply keeps running — the incremental and vector engines absorb the
+  corruption through their ordinary dirty-set/array machinery because each
+  segment is a fresh ``run()`` from the faulted configuration;
+- at a **churn** boundary the graph is mutated, the protocol is rebuilt on
+  the new graph (which re-derives clock parameters and rebuilds the
+  ``GraphIndex``/array codecs inside the engines), and the old
+  configuration is *transferred*: registers that are still valid under the
+  rebuilt protocol are kept, fresh or invalidated ones are redrawn from
+  the event's pre-drawn seed.
+
+Safety is streamed through a :class:`~repro.core.SafetyMonitor` per
+segment, whose observations feed a run-global :class:`SafetyTimeline` with
+exactly one verdict per step index ``0 .. horizon``.  The timeline yields
+the campaign metrics: per-event ``recovery_time``, overall
+``availability`` and the longest unsafe window.
+
+Every stochastic input (initial configuration, per-segment daemon seeds,
+per-event seeds) is pre-drawn from the campaign seed, so the result is a
+pure function of the arguments — identical across ``engine="reference"``
+(the from-scratch oracle), ``"incremental"`` and ``"vector"``, across
+sequential and ``workers=N`` dispatch, and across cache hits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core import SafetyMonitor, Simulator, make_daemon
+from ..core.state import Configuration
+from ..exceptions import ExperimentError, ProtocolError
+from ..graphs import Graph, diameter
+from .events import (
+    ChurnEvent,
+    CompiledChurn,
+    CompiledEvent,
+    FaultSchedule,
+    apply_churn_to_graph,
+    compile_events,
+)
+
+__all__ = [
+    "PROTOCOL_FAMILIES",
+    "build_protocol",
+    "build_specification",
+    "campaign_stabilization_bound",
+    "transfer_configuration",
+    "SafetyTimeline",
+    "EventOutcome",
+    "CampaignResult",
+    "run_campaign",
+]
+
+_SEED_BOUND = 2**63
+
+
+def _make_ssme(graph: Graph):
+    from ..mutex import SSME
+
+    return SSME(graph)
+
+
+def _make_unison(graph: Graph):
+    from ..unison import AsynchronousUnison
+
+    return AsynchronousUnison(graph)
+
+
+def _make_dijkstra(graph: Graph):
+    from ..mutex import DijkstraTokenRing
+
+    return DijkstraTokenRing(graph)
+
+
+def _spec_mutex(protocol):
+    from ..mutex import MutualExclusionSpec
+
+    return MutualExclusionSpec(protocol)
+
+
+def _spec_unison(protocol):
+    from ..unison import AsynchronousUnisonSpec
+
+    return AsynchronousUnisonSpec(protocol)
+
+
+#: Protocol families campaigns can run: short name -> (protocol factory,
+#: specification factory).  The factory is re-invoked on every churn event
+#: — rebuilding the protocol on the mutated graph is what re-derives clock
+#: parameters (K, alpha) and forces the engines to rebuild their
+#: ``GraphIndex`` and array codecs.
+PROTOCOL_FAMILIES: Dict[str, Tuple[Callable[[Graph], Any], Callable[[Any], Any]]] = {
+    "ssme": (_make_ssme, _spec_mutex),
+    "unison": (_make_unison, _spec_unison),
+    "dijkstra": (_make_dijkstra, _spec_mutex),
+}
+
+
+def build_protocol(family: str, graph: Graph):
+    """Instantiate the named protocol family on ``graph``."""
+    try:
+        factory, _ = PROTOCOL_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOL_FAMILIES))
+        raise ExperimentError(
+            f"unknown protocol family {family!r}; known: {known}"
+        ) from None
+    return factory(graph)
+
+
+def build_specification(family: str, protocol):
+    """The safety specification campaigns monitor for ``family``."""
+    try:
+        _, spec_factory = PROTOCOL_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOL_FAMILIES))
+        raise ExperimentError(
+            f"unknown protocol family {family!r}; known: {known}"
+        ) from None
+    return spec_factory(protocol)
+
+
+def campaign_stabilization_bound(protocol) -> int:
+    """The bound adversarial schedules are timed against.
+
+    SSME certifies ``ceil(diam/2)`` via
+    ``synchronous_stabilization_bound``; protocols without a certified
+    bound get the coarse ``3n`` heuristic (comfortably above Dijkstra's
+    ``n``-step synchronous stabilization), which only shapes the *timing*
+    of adversarial firings, never correctness.
+    """
+    bound = getattr(protocol, "synchronous_stabilization_bound", None)
+    if callable(bound):
+        return int(bound())
+    return 3 * protocol.graph.n
+
+
+def transfer_configuration(
+    old: Configuration, protocol, rng: random.Random
+) -> Configuration:
+    """Carry a configuration across a protocol rebuild after churn.
+
+    Surviving vertices keep their register when the rebuilt protocol still
+    accepts it (``validate_state``); joined vertices and registers
+    invalidated by the rebuild (e.g. clock values outside the re-derived
+    ``K``) are redrawn from ``rng``.  Vertices are visited in sorted order
+    so the draws are reproducible.
+    """
+    states: Dict[Any, Any] = {}
+    for vertex in sorted(protocol.graph.vertices, key=repr):
+        if vertex in old:
+            state = old[vertex]
+            try:
+                protocol.validate_state(vertex, state)
+            except ProtocolError:
+                states[vertex] = protocol.random_state(vertex, rng)
+            else:
+                states[vertex] = state
+        else:
+            states[vertex] = protocol.random_state(vertex, rng)
+    return protocol.configuration(states)
+
+
+class SafetyTimeline:
+    """One safety verdict per global step index, gaplessly recorded.
+
+    The campaign's segments append verdicts in index order (the monitor's
+    gapless contract extends across segments); queries derive the
+    recovery metrics.  An *unsafe window* is a maximal run of consecutive
+    unsafe indices.
+    """
+
+    def __init__(self) -> None:
+        self._safe: List[bool] = []
+
+    def record(self, index: int, safe: bool) -> None:
+        if index != len(self._safe):
+            raise ExperimentError(
+                f"timeline recorded index {index} after {len(self._safe) - 1}; "
+                "observations must be gapless"
+            )
+        self._safe.append(bool(safe))
+
+    def __len__(self) -> int:
+        return len(self._safe)
+
+    def is_safe_at(self, index: int) -> bool:
+        return self._safe[index]
+
+    def availability(self) -> float:
+        """Fraction of observed indices that were safe."""
+        if not self._safe:
+            return 1.0
+        return sum(self._safe) / len(self._safe)
+
+    def unsafe_windows(self) -> List[Tuple[int, int]]:
+        """Maximal unsafe runs as inclusive ``(start, end)`` index pairs."""
+        windows: List[Tuple[int, int]] = []
+        start: Optional[int] = None
+        for index, safe in enumerate(self._safe):
+            if not safe and start is None:
+                start = index
+            elif safe and start is not None:
+                windows.append((start, index - 1))
+                start = None
+        if start is not None:
+            windows.append((start, len(self._safe) - 1))
+        return windows
+
+    def longest_unsafe_window(self) -> int:
+        """Length (in indices) of the longest unsafe run, 0 if none."""
+        return max(
+            (end - start + 1 for start, end in self.unsafe_windows()), default=0
+        )
+
+    def last_unsafe_in(self, start: int, stop: int) -> Optional[int]:
+        """The last unsafe index in ``[start, stop)``, or None."""
+        for index in range(min(stop, len(self._safe)) - 1, start - 1, -1):
+            if not self._safe[index]:
+                return index
+        return None
+
+
+@dataclass(frozen=True)
+class EventOutcome:
+    """Recovery bookkeeping for one injected event.
+
+    ``recovery_time`` is the number of steps after the event until the
+    system is safe *for the rest of the event's observation window* (0
+    when the event never broke safety), or None when it was still unsafe
+    at the window's last observed index.  The window runs from the event's
+    step to the next event (exclusive) or the end of the run.
+    """
+
+    step: int
+    kind: str  # "fault" | "churn"
+    detail: str
+    window: int
+    recovery_time: Optional[int]
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_time is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "step": self.step,
+            "kind": self.kind,
+            "detail": self.detail,
+            "window": self.window,
+            "recovery_time": self.recovery_time,
+            "recovered": self.recovered,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a campaign run measured, in JSON-able form."""
+
+    protocol_family: str
+    daemon: str
+    engine: str
+    horizon: int
+    seed: int
+    initial_n: int
+    final_n: int
+    final_m: int
+    events: Tuple[EventOutcome, ...]
+    availability: float
+    longest_unsafe_window: int
+    unsafe_windows: Tuple[Tuple[int, int], ...]
+    final_safe: bool
+    final_configuration: Tuple[Tuple[Any, Any], ...]
+    observed_indices: int
+
+    @property
+    def recovered_all(self) -> bool:
+        """Did the system recover after every injected event?"""
+        return all(event.recovered for event in self.events)
+
+    @property
+    def max_recovery(self) -> Optional[int]:
+        """The slowest recovery over recovered events (None if no event)."""
+        times = [e.recovery_time for e in self.events if e.recovery_time is not None]
+        return max(times) if times else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol_family": self.protocol_family,
+            "daemon": self.daemon,
+            "engine": self.engine,
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "initial_n": self.initial_n,
+            "final_n": self.final_n,
+            "final_m": self.final_m,
+            "events": [event.to_dict() for event in self.events],
+            "availability": self.availability,
+            "longest_unsafe_window": self.longest_unsafe_window,
+            "unsafe_windows": [list(window) for window in self.unsafe_windows],
+            "final_safe": self.final_safe,
+            "final_configuration": [list(pair) for pair in self.final_configuration],
+            "observed_indices": self.observed_indices,
+            "recovered_all": self.recovered_all,
+            "max_recovery": self.max_recovery,
+        }
+
+
+def _describe_event(event: CompiledEvent) -> str:
+    if isinstance(event, CompiledChurn):
+        return f"{event.kind}:{event.target!r}"
+    if event.params:
+        rendered = ",".join(f"{k}={v!r}" for k, v in event.params)
+        return f"{event.model}({rendered})"
+    return event.model
+
+
+def run_campaign(
+    protocol_family: str,
+    graph: Graph,
+    daemon: str,
+    horizon: int,
+    seed: int,
+    schedule: Optional[FaultSchedule] = None,
+    fault_model: Optional[str] = None,
+    fault_params: Optional[Mapping[str, Any]] = None,
+    churn: Sequence[ChurnEvent] = (),
+    initial: str = "default",
+    engine: str = "auto",
+) -> CampaignResult:
+    """Run one fault campaign and return its measured result.
+
+    ``initial`` selects the starting configuration: ``"default"`` (the
+    protocol's default/legitimate-leaning start), ``"random"`` (an
+    arbitrary corrupted start, the self-stabilization reading), or
+    ``"adversarial"`` (the lower-bound double-privilege witness — SSME
+    only — which is the only way to start an SSME campaign *unsafe*:
+    random corruption essentially never plants two privileges).  All
+    other arguments mirror :func:`~repro.scenarios.events.compile_events`.
+    """
+    if horizon < 1:
+        raise ExperimentError("horizon must be >= 1")
+    if initial not in ("default", "random", "adversarial"):
+        raise ExperimentError(
+            f"unknown initial mode {initial!r}; known: default, random, adversarial"
+        )
+
+    master = random.Random(seed)
+    compile_seed = master.randrange(_SEED_BOUND)
+    init_seed = master.randrange(_SEED_BOUND)
+
+    protocol = build_protocol(protocol_family, graph)
+    specification = build_specification(protocol_family, protocol)
+    bound = campaign_stabilization_bound(protocol)
+    events = compile_events(
+        graph=graph,
+        horizon=horizon,
+        seed=compile_seed,
+        schedule=schedule,
+        fault_model=fault_model,
+        fault_params=fault_params,
+        churn=churn,
+        stabilization_bound=bound,
+    )
+    events_at: Dict[int, List[CompiledEvent]] = {}
+    for event in events:
+        events_at.setdefault(event.step, []).append(event)
+    boundaries = sorted(events_at)
+    segment_starts = [0] + boundaries
+    segment_ends = boundaries + [horizon]
+    segment_seeds = [master.randrange(_SEED_BOUND) for _ in segment_starts]
+
+    # Imported lazily to keep repro.scenarios importable without touching
+    # repro.experiments (whose package init imports the E9 driver, which
+    # imports this package).
+    from ..experiments.faults import apply_fault
+
+    if initial == "default":
+        current = protocol.default_configuration()
+    elif initial == "random":
+        current = protocol.random_configuration(random.Random(init_seed))
+    else:
+        # The planted double-privilege witness (lower-bound construction):
+        # raises ConstructionError for protocols without per-vertex
+        # privileged values, which ExperimentError-wrapping keeps clear.
+        from ..lowerbound import immediate_double_privilege_configuration
+
+        current = immediate_double_privilege_configuration(protocol)
+
+    timeline = SafetyTimeline()
+    cached_diam: Optional[int] = None
+
+    for segment_index, (start, end) in enumerate(zip(segment_starts, segment_ends)):
+        if segment_index > 0:
+            # Inject this boundary's events (churn first — compile_events
+            # ordered them) into the configuration the last segment ended on.
+            for event in events_at[start]:
+                if isinstance(event, CompiledChurn):
+                    mutated = apply_churn_to_graph(
+                        protocol.graph, event.kind, event.target
+                    )
+                    protocol = build_protocol(protocol_family, mutated)
+                    specification = build_specification(protocol_family, protocol)
+                    current = transfer_configuration(
+                        current, protocol, random.Random(event.seed)
+                    )
+                    cached_diam = None
+                else:
+                    params = dict(event.params)
+                    if (
+                        event.model == "localized-burst"
+                        and "radius" not in params
+                        and "diam" not in params
+                    ):
+                        # Thread the diameter once per topology version so
+                        # recurring bursts don't re-run the O(n^2) sweep.
+                        if cached_diam is None:
+                            cached_diam = diameter(protocol.graph)
+                        params["diam"] = cached_diam
+                    current = apply_fault(
+                        event.model,
+                        protocol,
+                        current,
+                        random.Random(event.seed),
+                        params=params,
+                    )
+
+        segment_length = end - start
+        is_final = segment_index == len(segment_starts) - 1
+        # Local indices recorded by THIS segment: a non-final segment stops
+        # short of its boundary index — the post-event configuration at
+        # that global index is recorded by the next segment as its local 0
+        # — so every global index gets exactly one verdict.
+        limit = segment_length + 1 if is_final else segment_length
+
+        cell: Dict[str, SafetyMonitor] = {}
+        spec_now = specification
+
+        def observe(configuration, index, _cell=cell, _spec=spec_now, _offset=start, _limit=limit):
+            if index < _limit:
+                timeline.record(
+                    _offset + index, _cell["monitor"].is_currently_safe(_spec)
+                )
+            return False
+
+        monitor = SafetyMonitor([spec_now], protocol, stop_when=observe)
+        cell["monitor"] = monitor
+
+        simulator = Simulator(
+            protocol,
+            make_daemon(daemon),
+            rng=random.Random(segment_seeds[segment_index]),
+            engine=engine,
+            trace="light",
+        )
+        execution = simulator.run(current, max_steps=segment_length, stop_when=monitor.observe)
+        recorded = min(execution.steps + 1, limit)
+        if recorded < limit:
+            # Early-terminal segment: the configuration no longer moves, so
+            # its safety verdict holds for every remaining index.
+            terminal_safe = specification.is_safe(execution.final, protocol)
+            for local in range(recorded, limit):
+                timeline.record(start + local, terminal_safe)
+        current = execution.final
+
+    # Per-event recovery against the timeline.
+    next_boundary = {
+        boundary: (boundaries[position + 1] if position + 1 < len(boundaries) else None)
+        for position, boundary in enumerate(boundaries)
+    }
+    outcomes: List[EventOutcome] = []
+    for event in events:
+        window_stop = next_boundary[event.step]
+        stop = len(timeline) if window_stop is None else window_stop
+        last_unsafe = timeline.last_unsafe_in(event.step, stop)
+        if last_unsafe is None:
+            recovery: Optional[int] = 0
+        elif last_unsafe == stop - 1:
+            recovery = None
+        else:
+            recovery = last_unsafe + 1 - event.step
+        outcomes.append(
+            EventOutcome(
+                step=event.step,
+                kind="churn" if isinstance(event, CompiledChurn) else "fault",
+                detail=_describe_event(event),
+                window=stop - event.step,
+                recovery_time=recovery,
+            )
+        )
+
+    final_graph = protocol.graph
+    return CampaignResult(
+        protocol_family=protocol_family,
+        daemon=daemon,
+        engine=engine,
+        horizon=horizon,
+        seed=seed,
+        initial_n=graph.n,
+        final_n=final_graph.n,
+        final_m=final_graph.m,
+        events=tuple(outcomes),
+        availability=timeline.availability(),
+        longest_unsafe_window=timeline.longest_unsafe_window(),
+        unsafe_windows=tuple(timeline.unsafe_windows()),
+        final_safe=timeline.is_safe_at(len(timeline) - 1),
+        final_configuration=tuple(
+            sorted(current.items(), key=lambda pair: repr(pair[0]))
+        ),
+        observed_indices=len(timeline),
+    )

@@ -1,0 +1,429 @@
+"""Fault schedules and topology churn as a deterministic event stream.
+
+One-shot fault models (:mod:`repro.experiments.faults`) answer "how fast
+does the protocol recover from one corruption?".  Fault *campaigns* answer
+the production-shaped question: what happens when faults recur — periodic
+glitches, correlated bursts, Poisson background noise, or an adversary that
+times the next fault exactly when the stabilization bound says recovery has
+just completed — while the topology itself churns (vertices joining and
+leaving, links appearing and failing) mid-run.
+
+This module defines the *declarative* half of the campaign layer:
+
+- :class:`FaultSchedule` — when the scenario's fault model fires over a
+  run of ``horizon`` steps;
+- :class:`ChurnEvent` — a topology mutation pinned to a step;
+- :func:`compile_events` — the bridge from declarative schedules to a
+  concrete, fully seeded event timeline (:class:`CompiledFault` /
+  :class:`CompiledChurn`).
+
+Compilation resolves every stochastic choice **up front** from a single
+seed: fire steps, per-event RNG seeds, and concrete churn targets (which
+vertex leaves, which edge appears) chosen against the *evolving* graph
+under a connectivity-preservation rule.  The executor
+(:mod:`repro.scenarios.campaign`) then merely replays the timeline, so a
+campaign is a pure function of ``(scenario fields, seed)`` — the property
+the job cache and the ``workers=N`` byte-identity guarantee rest on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ExperimentError
+from ..graphs import Graph
+from ..types import VertexId
+
+__all__ = [
+    "SCHEDULE_KINDS",
+    "CHURN_KINDS",
+    "MIN_CHURN_VERTICES",
+    "FaultSchedule",
+    "ChurnEvent",
+    "CompiledFault",
+    "CompiledChurn",
+    "CompiledEvent",
+    "compile_events",
+    "apply_churn_to_graph",
+]
+
+#: The recurrence shapes a schedule can take.
+SCHEDULE_KINDS = ("one-shot", "periodic", "burst", "poisson", "adversarial")
+
+#: The topology mutations churn can request.
+CHURN_KINDS = ("add-vertex", "remove-vertex", "add-edge", "remove-edge")
+
+#: ``remove-vertex`` never shrinks a graph below this size: the protocols'
+#: structural invariants (clock parameter constraints, ring shape) degrade
+#: at n <= 2 and a campaign that deletes the whole system measures nothing.
+MIN_CHURN_VERTICES = 3
+
+_SEED_BOUND = 2**63
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """When a scenario's fault model fires, as a function of the horizon.
+
+    ``kind`` selects the recurrence shape:
+
+    - ``"one-shot"`` — a single fault at ``offset``;
+    - ``"periodic"`` — faults at ``offset, offset+period, ...``;
+    - ``"burst"`` — like periodic, but each firing is a run of
+      ``burst_size`` faults ``burst_spacing`` steps apart (a rack browning
+      out several times in quick succession);
+    - ``"poisson"`` — an independent per-step firing probability ``rate``
+      from ``offset`` on (memoryless background noise);
+    - ``"adversarial"`` — the next fault lands exactly when the protocol's
+      stabilization bound says recovery has *just* completed: firings at
+      ``offset, offset+bound, offset+2*bound, ...`` where ``bound`` is the
+      certified (or heuristic) stabilization bound supplied at compile
+      time.  This is the worst admissible recurring timing that still
+      leaves room to recover between faults.
+
+    ``count`` optionally caps the total number of firings.  All fire steps
+    are restricted to ``1 <= step < horizon`` — step 0 is the initial
+    configuration (initial corruption is the *initial* workload's job, not
+    the schedule's) and a fault at the final index would be injected with
+    no observation window to recover in.
+    """
+
+    kind: str
+    offset: int = 1
+    period: Optional[int] = None
+    burst_size: int = 3
+    burst_spacing: int = 1
+    rate: Optional[float] = None
+    count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEDULE_KINDS:
+            known = ", ".join(SCHEDULE_KINDS)
+            raise ExperimentError(
+                f"unknown schedule kind {self.kind!r}; known: {known}"
+            )
+        if self.offset < 1:
+            raise ExperimentError("schedule offset must be >= 1 (step 0 is initial)")
+        if self.kind in ("periodic", "burst"):
+            if self.period is None or self.period < 1:
+                raise ExperimentError(
+                    f"{self.kind} schedule needs period >= 1, got {self.period!r}"
+                )
+        if self.kind == "burst":
+            if self.burst_size < 1 or self.burst_spacing < 1:
+                raise ExperimentError(
+                    "burst schedule needs burst_size >= 1 and burst_spacing >= 1"
+                )
+        if self.kind == "poisson":
+            if self.rate is None or not (0.0 < self.rate <= 1.0):
+                raise ExperimentError(
+                    f"poisson schedule needs a rate in (0, 1], got {self.rate!r}"
+                )
+        if self.count is not None and self.count < 1:
+            raise ExperimentError("count must be >= 1 when given")
+
+    def fire_steps(
+        self,
+        horizon: int,
+        rng: random.Random,
+        stabilization_bound: Optional[int] = None,
+    ) -> Tuple[int, ...]:
+        """The sorted, de-duplicated steps at which the schedule fires.
+
+        Only the ``"poisson"`` kind consumes ``rng``; the others are
+        arithmetic in the schedule's parameters (and, for
+        ``"adversarial"``, in ``stabilization_bound``).
+        """
+        if horizon < 1:
+            raise ExperimentError("horizon must be >= 1")
+        steps: List[int] = []
+        if self.kind == "one-shot":
+            if self.offset < horizon:
+                steps.append(self.offset)
+        elif self.kind == "periodic":
+            steps.extend(range(self.offset, horizon, self.period))
+        elif self.kind == "burst":
+            base = self.offset
+            while base < horizon:
+                steps.extend(
+                    fire
+                    for fire in range(
+                        base,
+                        base + self.burst_size * self.burst_spacing,
+                        self.burst_spacing,
+                    )
+                    if fire < horizon
+                )
+                base += self.period
+        elif self.kind == "poisson":
+            steps.extend(
+                step
+                for step in range(self.offset, horizon)
+                if rng.random() < self.rate
+            )
+        else:  # adversarial
+            if stabilization_bound is None:
+                raise ExperimentError(
+                    "adversarial schedule needs a stabilization bound "
+                    "(the campaign layer derives one from the protocol)"
+                )
+            gap = max(1, stabilization_bound)
+            steps.extend(range(self.offset, horizon, gap))
+        fires = tuple(sorted(set(steps)))
+        if self.count is not None:
+            fires = fires[: self.count]
+        return fires
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able form, round-trippable via :meth:`from_dict`."""
+        data: Dict[str, Any] = {"kind": self.kind, "offset": self.offset}
+        if self.kind in ("periodic", "burst"):
+            data["period"] = self.period
+        if self.kind == "burst":
+            data["burst_size"] = self.burst_size
+            data["burst_spacing"] = self.burst_spacing
+        if self.kind == "poisson":
+            data["rate"] = self.rate
+        if self.count is not None:
+            data["count"] = self.count
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSchedule":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """A topology mutation pinned to a step of the campaign timeline.
+
+    The event is declarative: it names the *kind* of mutation, not the
+    target.  :func:`compile_events` picks a concrete target against the
+    graph as mutated by all earlier churn, under the rule that the graph
+    must stay connected (the protocols are only defined on connected
+    graphs) — compilation fails fast with an :class:`ExperimentError` when
+    no admissible target exists (e.g. ``remove-edge`` on a tree).
+    """
+
+    step: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHURN_KINDS:
+            known = ", ".join(CHURN_KINDS)
+            raise ExperimentError(f"unknown churn kind {self.kind!r}; known: {known}")
+        if self.step < 1:
+            raise ExperimentError("churn step must be >= 1 (step 0 is initial)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"step": self.step, "kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChurnEvent":
+        return cls(step=data["step"], kind=data["kind"])
+
+
+@dataclass(frozen=True)
+class CompiledFault:
+    """A fault firing with its model, parameters and pre-drawn seed."""
+
+    step: int
+    model: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class CompiledChurn:
+    """A churn event with its concrete target and pre-drawn seed.
+
+    ``target`` is the vertex to remove, the ``(u, v)`` edge to add or
+    remove, or — for ``add-vertex`` — a ``(new_vertex, attachments)``
+    pair.  ``seed`` drives the state transfer of the rebuilt protocol
+    (fresh or invalidated registers are redrawn from it).
+    """
+
+    step: int
+    kind: str
+    target: Any
+    seed: int = 0
+
+
+CompiledEvent = Union[CompiledFault, CompiledChurn]
+
+
+def _fresh_vertex_id(graph: Graph) -> VertexId:
+    """A vertex identifier not present in ``graph``.
+
+    The stock generators label vertices ``0 .. n-1``, so joins extend the
+    integer range; graphs with exotic labels get a string identifier.
+    """
+    if all(isinstance(v, int) for v in graph.vertices):
+        return max(graph.vertices) + 1 if graph.n else 0
+    k = 0
+    while graph.has_vertex(f"join-{k}"):
+        k += 1
+    return f"join-{k}"
+
+
+def _select_churn_target(graph: Graph, kind: str, rng: random.Random) -> Any:
+    """Pick a concrete, connectivity-preserving target for ``kind``."""
+    if kind == "add-vertex":
+        attach_count = min(2, graph.n)
+        attachments = tuple(
+            rng.sample(sorted(graph.vertices, key=repr), attach_count)
+        )
+        return (_fresh_vertex_id(graph), attachments)
+    if kind == "remove-vertex":
+        if graph.n <= MIN_CHURN_VERTICES:
+            raise ExperimentError(
+                f"remove-vertex churn on a graph of n={graph.n} would shrink "
+                f"it below the floor of {MIN_CHURN_VERTICES} vertices"
+            )
+        candidates = sorted(graph.vertices, key=repr)
+        rng.shuffle(candidates)
+        for vertex in candidates:
+            rest = [u for u in graph.vertices if u != vertex]
+            if graph.subgraph(rest).is_connected():
+                return vertex
+        raise ExperimentError(
+            "remove-vertex churn: no vertex can leave without disconnecting "
+            "the graph"
+        )
+    if kind == "add-edge":
+        ordered = sorted(graph.vertices, key=repr)
+        non_edges = [
+            (u, v)
+            for i, u in enumerate(ordered)
+            for v in ordered[i + 1 :]
+            if not graph.has_edge(u, v)
+        ]
+        if not non_edges:
+            raise ExperimentError("add-edge churn: the graph is already complete")
+        return tuple(rng.choice(non_edges))
+    # remove-edge
+    candidates = sorted(graph.edges, key=repr)
+    rng.shuffle(candidates)
+    for u, v in candidates:
+        if graph.without_edge(u, v).is_connected():
+            return (u, v)
+    raise ExperimentError(
+        "remove-edge churn: every edge is a bridge (the graph is a tree)"
+    )
+
+
+def apply_churn_to_graph(graph: Graph, kind: str, target: Any) -> Graph:
+    """The mutated graph after one compiled churn event.
+
+    Used both at compile time (to evolve the graph the next event's target
+    is chosen against) and at run time (to rebuild the protocol), so the
+    two views of the topology timeline cannot diverge.
+    """
+    if kind == "add-vertex":
+        new_vertex, attachments = target
+        return Graph(
+            list(graph.vertices) + [new_vertex],
+            list(graph.edges) + [(new_vertex, a) for a in attachments],
+        )
+    if kind == "remove-vertex":
+        return graph.subgraph(u for u in graph.vertices if u != target)
+    if kind == "add-edge":
+        return graph.with_edge(*target)
+    if kind == "remove-edge":
+        return graph.without_edge(*target)
+    known = ", ".join(CHURN_KINDS)
+    raise ExperimentError(f"unknown churn kind {kind!r}; known: {known}")
+
+
+def compile_events(
+    graph: Graph,
+    horizon: int,
+    seed: int,
+    schedule: Optional[FaultSchedule] = None,
+    fault_model: Optional[str] = None,
+    fault_params: Optional[Mapping[str, Any]] = None,
+    churn: Sequence[ChurnEvent] = (),
+    stabilization_bound: Optional[int] = None,
+) -> Tuple[CompiledEvent, ...]:
+    """Resolve a scenario's declarative events into a seeded timeline.
+
+    Deterministic in ``(graph, horizon, seed, schedule, fault_model,
+    fault_params, churn, stabilization_bound)``.  The draw order is fixed
+    and documented: (1) schedule fire steps, (2) churn targets in step
+    order against the evolving graph, (3) one seed per event over the
+    merged timeline.  Changing any input therefore changes the timeline
+    in a reproducible way, and equal inputs replay byte-identically.
+
+    The result is sorted by step with churn ordered *before* faults at
+    equal steps — a fault at the instant of a topology change corrupts the
+    post-churn system, which is the adversarial reading.
+    """
+    if horizon < 1:
+        raise ExperimentError("horizon must be >= 1")
+    if schedule is not None and fault_model is None:
+        raise ExperimentError("a fault schedule needs a fault_model to fire")
+    # Validate the model name and its parameters once, up front, so a
+    # misconfigured campaign fails at compile time rather than at its
+    # first fault event.  Imported lazily: repro.experiments imports this
+    # package (the E9 driver), so a module-level import would be circular.
+    from ..experiments.faults import FAULT_MODEL_PARAMS, FAULT_MODELS
+
+    params = dict(fault_params or {})
+    if fault_model is not None:
+        if fault_model not in FAULT_MODELS:
+            known = ", ".join(sorted(FAULT_MODELS))
+            raise ExperimentError(
+                f"unknown fault model {fault_model!r}; known: {known}"
+            )
+        unknown = sorted(set(params) - FAULT_MODEL_PARAMS[fault_model])
+        if unknown:
+            valid = FAULT_MODEL_PARAMS[fault_model]
+            accepted = ", ".join(sorted(valid)) if valid else "none"
+            raise ExperimentError(
+                f"unknown parameter(s) {', '.join(map(repr, unknown))} for "
+                f"fault model {fault_model!r}; valid parameters: {accepted}"
+            )
+    elif params:
+        raise ExperimentError("fault_params given without a fault_model")
+
+    rng = random.Random(seed)
+    fires: Tuple[int, ...] = ()
+    if schedule is not None and fault_model is not None:
+        fires = schedule.fire_steps(horizon, rng, stabilization_bound)
+
+    evolving = graph
+    targeted: List[Tuple[ChurnEvent, Any]] = []
+    for event in sorted(churn, key=lambda e: e.step):
+        if event.step >= horizon:
+            raise ExperimentError(
+                f"churn event at step {event.step} is outside the horizon "
+                f"{horizon} (events must satisfy 1 <= step < horizon)"
+            )
+        target = _select_churn_target(evolving, event.kind, rng)
+        evolving = apply_churn_to_graph(evolving, event.kind, target)
+        targeted.append((event, target))
+
+    frozen_params = tuple(sorted(params.items()))
+    events: List[CompiledEvent] = []
+    for step in fires:
+        events.append(
+            CompiledFault(
+                step=step,
+                model=fault_model,  # type: ignore[arg-type]
+                params=frozen_params,
+                seed=rng.randrange(_SEED_BOUND),
+            )
+        )
+    for event, target in targeted:
+        events.append(
+            CompiledChurn(
+                step=event.step,
+                kind=event.kind,
+                target=target,
+                seed=rng.randrange(_SEED_BOUND),
+            )
+        )
+    events.sort(key=lambda e: (e.step, 0 if isinstance(e, CompiledChurn) else 1))
+    return tuple(events)

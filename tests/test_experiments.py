@@ -177,6 +177,7 @@ class TestReporting:
             "E6",
             "E7",
             "E8",
+            "E9",
         }
 
     def test_run_all_selected(self):

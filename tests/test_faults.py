@@ -59,11 +59,36 @@ class TestFaultModels:
         with pytest.raises(ExperimentError):
             clock_skew_fault(protocol, base, rng, max_skew=-1)
 
-    def test_clock_skew_on_clockless_protocol_degrades_gracefully(self, rng):
+    def test_clock_skew_on_clockless_protocol_raises_naming_it(self, rng):
         dijkstra = DijkstraTokenRing.on_ring(5)
         base = dijkstra.legitimate_configuration(0)
-        faulted = clock_skew_fault(dijkstra, base, rng)
-        assert len(base.differing_vertices(faulted)) <= 1
+        with pytest.raises(ExperimentError, match="dijkstra-token-ring"):
+            clock_skew_fault(dijkstra, base, rng)
+        with pytest.raises(ExperimentError, match="DijkstraTokenRing"):
+            apply_fault("clock-skew", dijkstra, base, rng)
+
+    def test_localized_burst_accepts_precomputed_diameter(self, protocol, base):
+        from repro.graphs import diameter
+
+        diam = diameter(protocol.graph)
+        with_diam = localized_burst_fault(
+            protocol, base, random.Random(3), diam=diam
+        )
+        without = localized_burst_fault(protocol, base, random.Random(3))
+        assert with_diam == without
+
+    def test_localized_burst_ignores_diam_when_radius_given(self, protocol, base):
+        # An absurd precomputed diameter must not matter once the radius is
+        # explicit — the diameter is only a radius default.
+        a = localized_burst_fault(protocol, base, random.Random(4), radius=1, diam=10**6)
+        b = localized_burst_fault(protocol, base, random.Random(4), radius=1)
+        assert a == b
+
+    def test_single_vertex_fault_count(self, protocol, base):
+        faulted = single_vertex_fault(protocol, base, random.Random(9), count=4)
+        assert len(base.differing_vertices(faulted)) <= 4
+        with pytest.raises(ExperimentError):
+            single_vertex_fault(protocol, base, random.Random(9), count=0)
 
     def test_apply_fault_by_name(self, protocol, base, rng):
         for name in FAULT_MODELS:
@@ -77,6 +102,26 @@ class TestFaultModels:
     def test_unknown_fault_message_lists_known_models(self, protocol, base, rng):
         with pytest.raises(ExperimentError, match="single-vertex"):
             apply_fault("cosmic-ray", protocol, base, rng)
+
+    def test_apply_fault_threads_explicit_params(self, protocol, base):
+        direct = localized_burst_fault(protocol, base, random.Random(21), radius=1)
+        via_apply = apply_fault(
+            "localized-burst", protocol, base, random.Random(21), params={"radius": 1}
+        )
+        assert via_apply == direct
+        skew = apply_fault(
+            "clock-skew", protocol, base, random.Random(5), params={"max_skew": 0}
+        )
+        assert skew == base
+
+    def test_apply_fault_unknown_param_lists_valid_keys(self, protocol, base, rng):
+        with pytest.raises(ExperimentError, match=r"radius"):
+            apply_fault(
+                "localized-burst", protocol, base, rng, params={"radiis": 1}
+            )
+        # A parameterless model reports that it accepts none.
+        with pytest.raises(ExperimentError, match="none"):
+            apply_fault("global", protocol, base, rng, params={"radius": 1})
 
     def test_every_model_is_deterministic_under_a_fixed_rng(self, protocol, base):
         for name in FAULT_MODELS:

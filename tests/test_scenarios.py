@@ -1,0 +1,430 @@
+"""Tests for the fault-campaign scenario layer (events, campaign, registry)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExperimentError
+from repro.graphs import complete_graph, path_graph, ring_graph
+from repro.scenarios import (
+    CHURN_KINDS,
+    ChurnEvent,
+    CompiledChurn,
+    CompiledFault,
+    FaultSchedule,
+    MIN_CHURN_VERTICES,
+    SCENARIOS,
+    SafetyTimeline,
+    Scenario,
+    apply_churn_to_graph,
+    build_protocol,
+    build_specification,
+    compile_events,
+    get_scenario,
+    list_scenarios,
+    run_campaign,
+    run_campaign_from_params,
+    run_scenario,
+    scenario_names,
+    transfer_configuration,
+)
+
+
+# --------------------------------------------------------------------- #
+# FaultSchedule
+# --------------------------------------------------------------------- #
+class TestFaultSchedule:
+    def test_periodic_fires_arithmetically(self, rng):
+        schedule = FaultSchedule(kind="periodic", offset=5, period=15)
+        assert schedule.fire_steps(60, rng) == (5, 20, 35, 50)
+
+    def test_one_shot_outside_horizon_never_fires(self, rng):
+        schedule = FaultSchedule(kind="one-shot", offset=10)
+        assert schedule.fire_steps(10, rng) == ()
+        assert schedule.fire_steps(11, rng) == (10,)
+
+    def test_burst_shape(self, rng):
+        schedule = FaultSchedule(
+            kind="burst", offset=6, period=24, burst_size=2, burst_spacing=2
+        )
+        assert schedule.fire_steps(60, rng) == (6, 8, 30, 32, 54, 56)
+
+    def test_count_caps_firings(self, rng):
+        schedule = FaultSchedule(kind="periodic", offset=1, period=2, count=3)
+        assert schedule.fire_steps(100, rng) == (1, 3, 5)
+
+    def test_adversarial_uses_the_stabilization_bound(self, rng):
+        schedule = FaultSchedule(kind="adversarial", offset=10)
+        assert schedule.fire_steps(50, rng, stabilization_bound=12) == (10, 22, 34, 46)
+        with pytest.raises(ExperimentError, match="stabilization bound"):
+            schedule.fire_steps(50, rng)
+
+    def test_validation_errors(self):
+        with pytest.raises(ExperimentError, match="unknown schedule kind"):
+            FaultSchedule(kind="lunar")
+        with pytest.raises(ExperimentError, match="offset"):
+            FaultSchedule(kind="one-shot", offset=0)
+        with pytest.raises(ExperimentError, match="period"):
+            FaultSchedule(kind="periodic")
+        with pytest.raises(ExperimentError, match="rate"):
+            FaultSchedule(kind="poisson", rate=1.5)
+        with pytest.raises(ExperimentError, match="count"):
+            FaultSchedule(kind="one-shot", count=0)
+
+    def test_round_trip_through_dict(self):
+        for schedule in (
+            FaultSchedule(kind="one-shot", offset=3),
+            FaultSchedule(kind="periodic", offset=2, period=7, count=4),
+            FaultSchedule(kind="burst", offset=1, period=9, burst_size=2, burst_spacing=3),
+            FaultSchedule(kind="poisson", offset=4, rate=0.25),
+        ):
+            assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        kind=st.sampled_from(["one-shot", "periodic", "burst", "poisson"]),
+        offset=st.integers(min_value=1, max_value=20),
+        period=st.integers(min_value=1, max_value=30),
+        rate=st.floats(min_value=0.01, max_value=1.0),
+        horizon=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_fire_steps_deterministic_sorted_in_range(
+        self, kind, offset, period, rate, horizon, seed
+    ):
+        schedule = FaultSchedule(kind=kind, offset=offset, period=period, rate=rate)
+        first = schedule.fire_steps(horizon, random.Random(seed))
+        second = schedule.fire_steps(horizon, random.Random(seed))
+        assert first == second
+        assert list(first) == sorted(set(first))
+        assert all(1 <= step < horizon for step in first)
+
+
+# --------------------------------------------------------------------- #
+# Churn and compilation
+# --------------------------------------------------------------------- #
+class TestCompileEvents:
+    def test_churn_validation(self):
+        with pytest.raises(ExperimentError, match="unknown churn kind"):
+            ChurnEvent(step=3, kind="teleport")
+        with pytest.raises(ExperimentError, match="step"):
+            ChurnEvent(step=0, kind="add-edge")
+
+    def test_churn_before_fault_at_equal_step(self):
+        events = compile_events(
+            ring_graph(6),
+            horizon=20,
+            seed=3,
+            schedule=FaultSchedule(kind="one-shot", offset=10),
+            fault_model="global",
+            churn=(ChurnEvent(step=10, kind="add-edge"),),
+        )
+        assert [type(e) for e in events] == [CompiledChurn, CompiledFault]
+        assert events[0].step == events[1].step == 10
+
+    def test_churn_targets_preserve_connectivity(self):
+        churn = tuple(
+            ChurnEvent(step=5 * (i + 1), kind=kind)
+            for i, kind in enumerate(
+                ["add-vertex", "add-edge", "remove-edge", "remove-vertex"] * 2
+            )
+        )
+        events = compile_events(ring_graph(8), horizon=100, seed=11, churn=churn)
+        graph = ring_graph(8)
+        for event in events:
+            graph = apply_churn_to_graph(graph, event.kind, event.target)
+            assert graph.is_connected()
+            assert graph.n >= MIN_CHURN_VERTICES
+
+    def test_add_vertex_gets_a_fresh_integer_id(self):
+        events = compile_events(
+            ring_graph(5), horizon=10, seed=0, churn=(ChurnEvent(step=2, kind="add-vertex"),)
+        )
+        new_vertex, attachments = events[0].target
+        assert new_vertex == 5
+        assert 1 <= len(attachments) <= 2
+        mutated = apply_churn_to_graph(ring_graph(5), "add-vertex", events[0].target)
+        assert mutated.n == 6 and mutated.is_connected()
+
+    def test_remove_edge_on_a_tree_fails_fast(self):
+        with pytest.raises(ExperimentError, match="bridge"):
+            compile_events(
+                path_graph(5), horizon=10, seed=0,
+                churn=(ChurnEvent(step=2, kind="remove-edge"),),
+            )
+
+    def test_add_edge_on_complete_graph_fails_fast(self):
+        with pytest.raises(ExperimentError, match="complete"):
+            compile_events(
+                complete_graph(4), horizon=10, seed=0,
+                churn=(ChurnEvent(step=2, kind="add-edge"),),
+            )
+
+    def test_churn_outside_horizon_fails_fast(self):
+        with pytest.raises(ExperimentError, match="outside the horizon"):
+            compile_events(
+                ring_graph(5), horizon=10, seed=0,
+                churn=(ChurnEvent(step=10, kind="add-edge"),),
+            )
+
+    def test_fault_model_and_params_validated_at_compile_time(self):
+        with pytest.raises(ExperimentError, match="unknown fault model"):
+            compile_events(
+                ring_graph(5), horizon=10, seed=0,
+                schedule=FaultSchedule(kind="one-shot", offset=2),
+                fault_model="cosmic-ray",
+            )
+        with pytest.raises(ExperimentError, match="radius"):
+            compile_events(
+                ring_graph(5), horizon=10, seed=0,
+                schedule=FaultSchedule(kind="one-shot", offset=2),
+                fault_model="localized-burst",
+                fault_params={"radiis": 1},
+            )
+        with pytest.raises(ExperimentError, match="without a fault_model"):
+            compile_events(
+                ring_graph(5), horizon=10, seed=0, fault_params={"radius": 1}
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        n=st.integers(min_value=5, max_value=12),
+        # Only additive churn: repeated removals can exhaust a small graph's
+        # admissible targets, which fails fast by design.
+        kinds=st.lists(
+            st.sampled_from(["add-vertex", "add-edge"]), min_size=0, max_size=4
+        ),
+    )
+    def test_compilation_is_deterministic(self, seed, n, kinds):
+        churn = tuple(
+            ChurnEvent(step=3 * (i + 1), kind=kind) for i, kind in enumerate(kinds)
+        )
+        kwargs = dict(
+            graph=ring_graph(n),
+            horizon=50,
+            seed=seed,
+            schedule=FaultSchedule(kind="poisson", offset=1, rate=0.1),
+            fault_model="single-vertex",
+            churn=churn,
+        )
+        assert compile_events(**kwargs) == compile_events(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# SafetyTimeline
+# --------------------------------------------------------------------- #
+class TestSafetyTimeline:
+    def test_gapless_contract(self):
+        timeline = SafetyTimeline()
+        timeline.record(0, True)
+        with pytest.raises(ExperimentError, match="gapless"):
+            timeline.record(2, True)
+
+    def test_windows_and_metrics(self):
+        timeline = SafetyTimeline()
+        for index, safe in enumerate([True, False, False, True, False, True]):
+            timeline.record(index, safe)
+        assert timeline.unsafe_windows() == [(1, 2), (4, 4)]
+        assert timeline.longest_unsafe_window() == 2
+        assert timeline.availability() == pytest.approx(3 / 6)
+        assert timeline.last_unsafe_in(0, 6) == 4
+        assert timeline.last_unsafe_in(5, 6) is None
+
+    def test_trailing_unsafe_window_is_closed(self):
+        timeline = SafetyTimeline()
+        for index, safe in enumerate([True, False, False]):
+            timeline.record(index, safe)
+        assert timeline.unsafe_windows() == [(1, 2)]
+
+
+# --------------------------------------------------------------------- #
+# transfer_configuration
+# --------------------------------------------------------------------- #
+class TestTransferConfiguration:
+    def test_keeps_valid_states_and_redraws_the_rest(self, rng):
+        protocol = build_protocol("unison", ring_graph(6))
+        base = protocol.default_configuration()
+        bigger = build_protocol(
+            "unison", apply_churn_to_graph(ring_graph(6), "add-vertex", (6, (0, 3)))
+        )
+        moved = transfer_configuration(base, bigger, rng)
+        for vertex in range(6):
+            assert moved[vertex] == base[vertex]
+        assert 6 in moved
+        bigger.validate_state(6, moved[6])
+
+    def test_redraws_states_invalidated_by_parameter_shrink(self):
+        # Rebuilding unison on a much smaller graph shrinks the clock domain
+        # (K = n + 1), so large clock values must be redrawn, not kept.
+        big = build_protocol("unison", ring_graph(12))
+        top = {v: big.clock.K - 1 for v in range(12)}
+        config = big.configuration(top)
+        small = build_protocol("unison", ring_graph(12).subgraph(range(4)))
+        moved = transfer_configuration(config, small, random.Random(5))
+        for vertex in small.graph.vertices:
+            small.validate_state(vertex, moved[vertex])
+
+
+# --------------------------------------------------------------------- #
+# run_campaign
+# --------------------------------------------------------------------- #
+class TestRunCampaign:
+    def test_observes_every_index_exactly_once(self):
+        result = run_campaign(
+            protocol_family="ssme",
+            graph=ring_graph(6),
+            daemon="sd",
+            horizon=40,
+            seed=9,
+            schedule=FaultSchedule(kind="periodic", offset=5, period=10),
+            fault_model="single-vertex",
+        )
+        assert result.observed_indices == 41  # indices 0..horizon inclusive
+
+    def test_result_is_jsonable_and_stable(self):
+        kwargs = dict(
+            protocol_family="unison",
+            graph=path_graph(5),
+            daemon="cd-rr",
+            horizon=30,
+            seed=4,
+            schedule=FaultSchedule(kind="one-shot", offset=3),
+            fault_model="global",
+            churn=(ChurnEvent(step=10, kind="add-edge"),),
+        )
+        first = run_campaign(**kwargs).to_dict()
+        second = run_campaign(**kwargs).to_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_adversarial_initial_starts_unsafe(self):
+        result = run_campaign(
+            protocol_family="ssme",
+            graph=ring_graph(10),
+            daemon="sd",
+            horizon=30,
+            seed=2,
+            initial="adversarial",
+        )
+        assert result.availability < 1.0
+        assert result.final_safe
+        assert not result.unsafe_windows[0][0]  # unsafe from index 0
+
+    def test_unknown_family_and_initial(self):
+        with pytest.raises(ExperimentError, match="protocol family"):
+            run_campaign("quorum", ring_graph(5), "sd", 10, 0)
+        with pytest.raises(ExperimentError, match="initial mode"):
+            run_campaign("ssme", ring_graph(5), "sd", 10, 0, initial="hot")
+
+    def test_event_windows_partition_the_timeline(self):
+        result = run_campaign(
+            protocol_family="dijkstra",
+            graph=ring_graph(6),
+            daemon="cd",
+            horizon=50,
+            seed=7,
+            schedule=FaultSchedule(kind="periodic", offset=10, period=15),
+            fault_model="single-vertex",
+        )
+        steps = [event.step for event in result.events]
+        assert steps == sorted(steps)
+        # Last window extends to the end of the timeline.
+        assert result.events[-1].window == result.observed_indices - result.events[-1].step
+
+
+# --------------------------------------------------------------------- #
+# Engine equivalence and churn-rebuild equivalence (acceptance criteria)
+# --------------------------------------------------------------------- #
+ENGINES = ("reference", "incremental", "vector")
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize(
+        "name", [scenario.name for scenario in list_scenarios("smoke")]
+    )
+    def test_smoke_scenarios_identical_across_engines(self, name):
+        results = []
+        for engine in ENGINES:
+            data = run_scenario(name, engine=engine).to_dict()
+            data["engine"] = "normalized"
+            results.append(json.dumps(data, sort_keys=True))
+        assert results[0] == results[1] == results[2]
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        family=st.sampled_from(["ssme", "unison"]),
+    )
+    def test_post_churn_state_matches_rebuild_from_scratch(self, seed, family):
+        """After churn, every engine's state equals a from-scratch rebuild.
+
+        The reference engine rebuilds the simulator from scratch on the
+        mutated graph each segment, so it is the rebuild oracle; the
+        incremental and vector engines instead absorb the churn through
+        their index/codec rebuild path and must land on the exact same
+        final configuration.
+        """
+        graph = ring_graph(7)
+        churn = (ChurnEvent(step=6, kind="add-vertex"),)
+        final_configs = []
+        for engine in ENGINES:
+            result = run_campaign(
+                protocol_family=family,
+                graph=graph,
+                daemon="cd-rr",
+                horizon=14,
+                seed=seed,
+                churn=churn,
+                engine=engine,
+            )
+            final_configs.append(result.final_configuration)
+        assert final_configs[0] == final_configs[1] == final_configs[2]
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_smoke_tier_is_nonempty_and_small(self):
+        smoke = list_scenarios("smoke")
+        assert smoke
+        for scenario in smoke:
+            assert scenario.n <= 8
+            assert scenario.horizon <= 100
+
+    def test_names_and_lookup(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert set(names) == set(SCENARIOS)
+        with pytest.raises(ExperimentError, match="unknown scenario"):
+            get_scenario("no-such-campaign")
+        with pytest.raises(ExperimentError, match="unknown tier"):
+            list_scenarios("warm")
+
+    def test_job_params_round_trip_matches_direct_run(self):
+        scenario = get_scenario("smoke-unison-path6-churn")
+        direct = scenario.run().to_dict()
+        via_params = run_campaign_from_params(scenario.job_params()).to_dict()
+        assert json.dumps(direct, sort_keys=True) == json.dumps(
+            via_params, sort_keys=True
+        )
+
+    def test_scenario_schedule_requires_fault_model(self):
+        with pytest.raises(ExperimentError, match="no fault_model"):
+            Scenario(
+                name="x", protocol="ssme", topology="ring", n=5, daemon="sd",
+                horizon=10, seed=0,
+                schedule=FaultSchedule(kind="one-shot", offset=2),
+            )
+
+    def test_every_scenario_builds_its_graph_and_protocol(self):
+        for scenario in list_scenarios():
+            graph = scenario.build_graph()
+            assert graph.is_connected()
+            protocol = build_protocol(scenario.protocol, graph)
+            build_specification(scenario.protocol, protocol)
