@@ -1,0 +1,203 @@
+"""E10 — adaptive-engine headline: online switching beats every fixed backend.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py                    # full headline
+    PYTHONPATH=src python benchmarks/bench_adaptive.py --json BENCH_adaptive.json
+    PYTHONPATH=src python benchmarks/bench_adaptive.py --quick            # smaller workload
+
+The headline workload is a regime-switching daemon on a large ring
+(alternating synchronous phases, where the array kernels win, and sparse
+single-vertex phases, where the dict dirty-set paths win).  No fixed
+backend is right for both phases; ``engine="adaptive"`` re-decides online
+and must beat the best *single* fixed backend on wall-clock
+(``headline_wallclock.adaptive_beats_best_fixed``).
+
+The JSON has two sections with different reproducibility contracts:
+
+* ``headline_wallclock`` — machine-dependent timings (informational; CI
+  only echoes the committed verdict, it never re-times).
+* ``headline_adaptive`` — the **deterministic** trajectory facts of the
+  E10 engine-equivalence rows (steps, moves, selection/final checksums,
+  equivalence verdicts).  These are identical across machines, Python
+  versions and NumPy presence — CI recomputes them in both the with-NumPy
+  and no-NumPy jobs and compares exactly against the committed file
+  (report-only, so an intentional semantic change shows up as a warning
+  until the file is regenerated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core import RegimeSwitchingDaemon, Simulator
+from repro.experiments import adaptive_speculation
+from repro.graphs import ring_graph
+from repro.mutex import SSME
+
+#: The per-row columns of the deterministic headline (everything the CI
+#: check compares; 'adaptive_switches' stays out — promotions need NumPy).
+HEADLINE_KEYS = (
+    "steps",
+    "moves",
+    "final_checksum",
+    "selections_checksum",
+    "equivalent",
+    "horizon",
+)
+
+#: Fixed backends the adaptive engine races against.
+FIXED_ENGINES = ("incremental", "vector", "vector-superstep")
+
+
+def _time_engine(
+    engine: str,
+    n: int,
+    dense_steps: int,
+    sparse_steps: int,
+    horizon: int,
+    initial_seed: int,
+    daemon_seed: int,
+    repeat: int,
+) -> Tuple[float, int]:
+    """Best-of-``repeat`` wall-clock for one engine on the headline workload."""
+    best = float("inf")
+    steps = 0
+    for _ in range(repeat):
+        protocol = SSME(ring_graph(n))
+        initial = protocol.random_configuration(random.Random(initial_seed))
+        simulator = Simulator(
+            protocol,
+            RegimeSwitchingDaemon(dense_steps, sparse_steps),
+            rng=random.Random(daemon_seed),
+            engine=engine,
+            trace="light",
+        )
+        started = time.perf_counter()
+        execution = simulator.run(initial, max_steps=horizon)
+        best = min(best, time.perf_counter() - started)
+        steps = execution.steps
+    return best, steps
+
+
+def wallclock_headline(
+    n: int,
+    dense_steps: int,
+    sparse_steps: int,
+    periods: int,
+    repeat: int,
+) -> Dict[str, object]:
+    """Race adaptive against every fixed backend on one workload."""
+    horizon = periods * (dense_steps + sparse_steps)
+    initial_seed, daemon_seed = 11, 5
+    fixed: Dict[str, float] = {}
+    for engine in FIXED_ENGINES:
+        seconds, _ = _time_engine(
+            engine, n, dense_steps, sparse_steps, horizon, initial_seed, daemon_seed, repeat
+        )
+        fixed[engine] = round(seconds, 4)
+    adaptive_seconds, steps = _time_engine(
+        "adaptive", n, dense_steps, sparse_steps, horizon, initial_seed, daemon_seed, repeat
+    )
+    best_fixed = min(fixed, key=fixed.get)
+    return {
+        "workload": {
+            "topology": "ring",
+            "n": n,
+            "daemon": f"regime-switch({dense_steps},{sparse_steps})",
+            "horizon": horizon,
+            "steps": steps,
+            "initial_seed": initial_seed,
+            "daemon_seed": daemon_seed,
+            "repeat": repeat,
+        },
+        "fixed_seconds": fixed,
+        "best_fixed": best_fixed,
+        "best_fixed_seconds": fixed[best_fixed],
+        "adaptive_seconds": round(adaptive_seconds, 4),
+        "speedup_vs_best_fixed": round(fixed[best_fixed] / adaptive_seconds, 3),
+        "adaptive_beats_best_fixed": adaptive_seconds < fixed[best_fixed],
+    }
+
+
+def deterministic_headline(engine_sizes: Sequence[int]) -> Dict[str, Dict[str, object]]:
+    """The E10 engine-equivalence trajectory facts, keyed by instance."""
+    report = adaptive_speculation.run_experiment(
+        engine_sizes=engine_sizes, gap_sizes=(), switching_sizes=()
+    )
+    return {
+        row["instance"]: {key: row[key] for key in HEADLINE_KEYS}
+        for row in report.rows
+        if row["kind"] == "engine-equivalence"
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default="BENCH_adaptive.json",
+        help="where to write the JSON summary (default: BENCH_adaptive.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller wall-clock workload (n=400, 2 periods, 1 repeat)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="wall-clock repetitions per engine; best is reported (default: 2)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n, periods, repeat = 400, 2, 1
+    else:
+        n, periods, repeat = 1000, 3, args.repeat
+
+    started = time.time()
+    wallclock = wallclock_headline(
+        n=n, dense_steps=192, sparse_steps=768, periods=periods, repeat=repeat
+    )
+    trajectory = deterministic_headline(engine_sizes=(64, 96))
+    elapsed = time.time() - started
+
+    data = {
+        "benchmark": "adaptive_engine",
+        "code_version": adaptive_speculation.CODE_VERSION,
+        "headline_wallclock": wallclock,
+        "headline_adaptive": trajectory,
+    }
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    fixed = ", ".join(
+        f"{engine}={seconds}s" for engine, seconds in wallclock["fixed_seconds"].items()
+    )
+    print(
+        f"ring({n}) regime-switch workload, {wallclock['workload']['horizon']} steps:\n"
+        f"  fixed backends: {fixed}\n"
+        f"  adaptive: {wallclock['adaptive_seconds']}s "
+        f"({wallclock['speedup_vs_best_fixed']}x vs best fixed "
+        f"'{wallclock['best_fixed']}')"
+    )
+    for instance, facts in sorted(trajectory.items()):
+        print(
+            f"  {instance}: steps={facts['steps']} moves={facts['moves']} "
+            f"equivalent={facts['equivalent']}"
+        )
+    print(f"\nwrote {args.json} (in {elapsed:.2f}s)", file=sys.stderr)
+    return 0 if wallclock["adaptive_beats_best_fixed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,11 @@ class BfsSpanningTree(Protocol):
                 f"level {state!r} of vertex {vertex!r} outside 0..{self._max_level}"
             )
 
+    def vertex_state_space(self, vertex: VertexId) -> Sequence[int]:
+        """The full level domain — makes the instance exactly checkable."""
+        del vertex
+        return tuple(range(self._max_level + 1))
+
     # ------------------------------------------------------------------ #
     # Output
     # ------------------------------------------------------------------ #

@@ -185,6 +185,16 @@ class MaximalMatching(Protocol):
                 f"pointer {state.pointer!r} of vertex {vertex!r} is not a neighbour"
             )
 
+    def vertex_state_space(self, vertex: VertexId) -> Sequence[MatchingState]:
+        """Every ``(pointer, married)`` pair — makes the instance exactly
+        checkable (``2 * (deg(v) + 1)`` states per vertex)."""
+        pointers = [None] + sorted(self.graph.neighbors(vertex), key=repr)
+        return tuple(
+            MatchingState(pointer=pointer, married=married)
+            for pointer in pointers
+            for married in (False, True)
+        )
+
     # ------------------------------------------------------------------ #
     # Output
     # ------------------------------------------------------------------ #

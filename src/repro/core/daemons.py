@@ -45,6 +45,7 @@ __all__ = [
     "LocallyCentralDaemon",
     "AdversarialCentralDaemon",
     "StarvationDaemon",
+    "RegimeSwitchingDaemon",
     "is_weaker_than",
     "DAEMON_FACTORIES",
     "make_daemon",
@@ -489,6 +490,60 @@ class StarvationDaemon(Daemon):
         return without_target if without_target else enabled
 
 
+class RegimeSwitchingDaemon(Daemon):
+    """Alternates synchronous and sparse-central scheduling phases.
+
+    For ``dense_steps`` actions out of every ``dense_steps + sparse_steps``
+    period the daemon behaves like the synchronous daemon (every enabled
+    vertex fires); for the remaining ``sparse_steps`` actions it behaves
+    like the random central daemon (one enabled vertex fires).  Phase
+    membership is a pure function of the step index, so executions are
+    deterministic given the seed.
+
+    This is the canonical *regime-switch workload* for the adaptive engine
+    (:mod:`repro.adaptive`): neither phase dominates the run, so any fixed
+    backend choice is wrong half the time.  The advisory flags deliberately
+    stay at their sparse defaults (``dense=False``, ``synchronous=False``):
+    ``engine="auto"`` must keep the incremental engine for this daemon —
+    exploiting the dense phases mid-run is exactly the adaptive engine's
+    job, not static backend selection's.
+    """
+
+    name = "regime-switch"
+
+    def __init__(self, dense_steps: int = 64, sparse_steps: int = 192) -> None:
+        super().__init__()
+        if dense_steps < 1 or sparse_steps < 1:
+            raise DaemonError("phase lengths must be at least 1 step")
+        self._dense_steps = dense_steps
+        self._period = dense_steps + sparse_steps
+
+    @property
+    def dense_steps(self) -> int:
+        """Length of the synchronous phase of each period."""
+        return self._dense_steps
+
+    @property
+    def sparse_steps(self) -> int:
+        """Length of the sparse-central phase of each period."""
+        return self._period - self._dense_steps
+
+    def in_dense_phase(self, step_index: int) -> bool:
+        """Whether action ``step_index`` falls in a synchronous phase."""
+        return (step_index % self._period) < self._dense_steps
+
+    def select(
+        self,
+        enabled: FrozenSet[VertexId],
+        configuration: Configuration,
+        step_index: int,
+        rng: random.Random,
+    ) -> FrozenSet[VertexId]:
+        if self.in_dense_phase(step_index):
+            return enabled
+        return frozenset({rng.choice(self._ordered_enabled(enabled))})
+
+
 def is_weaker_than(
     weaker: Daemon, stronger: Daemon, ground_sets: Iterable[FrozenSet[VertexId]]
 ) -> bool:
@@ -520,6 +575,7 @@ DAEMON_FACTORIES = {
     "dd": DistributedDaemon,
     "lcd": LocallyCentralDaemon,
     "ud-starve": StarvationDaemon,
+    "regime-switch": RegimeSwitchingDaemon,
 }
 
 

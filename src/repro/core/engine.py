@@ -123,6 +123,7 @@ class IncrementalEngine:
         "_neighbors",
         "_vector",
         "last_run_backend",
+        "last_final_configuration",
     )
 
     #: Refresh-mode switch: when ``len(changes) * _BATCH_DENSITY >= n`` the
@@ -144,6 +145,11 @@ class IncrementalEngine:
         #: Which backend the most recent ``run`` used ("vector-superstep",
         #: "vector" or "dict"); None before the first run.  Diagnostic only.
         self.last_run_backend: Optional[str] = None
+        #: The final configuration of the most recent ``run`` (None before
+        #: the first run).  Lets segment-wise callers (fault campaigns, the
+        #: adaptive engine) chain runs without forcing ``Execution.final``,
+        #: which on a light trace replays every delta.
+        self.last_final_configuration: Optional[Configuration] = None
 
     def _vector_engine(self):
         """The cached array-state backend, or None when unavailable.
@@ -221,7 +227,7 @@ class IncrementalEngine:
                     # honoured as-is (benchmarks compare the two paths).
                     if daemon.synchronous and backend != "vector":
                         self.last_run_backend = "vector-superstep"
-                        return vector.run_supersteps(
+                        execution = vector.run_supersteps(
                             daemon=daemon,
                             rng=rng,
                             initial=initial,
@@ -231,16 +237,19 @@ class IncrementalEngine:
                             initial_array=encoded,
                             superstep=superstep,
                         )
-                    self.last_run_backend = "vector"
-                    return vector.run(
-                        daemon=daemon,
-                        rng=rng,
-                        initial=initial,
-                        max_steps=max_steps,
-                        stop_when=stop_when,
-                        trace=trace,
-                        initial_array=encoded,
-                    )
+                    else:
+                        self.last_run_backend = "vector"
+                        execution = vector.run(
+                            daemon=daemon,
+                            rng=rng,
+                            initial=initial,
+                            max_steps=max_steps,
+                            stop_when=stop_when,
+                            trace=trace,
+                            initial_array=encoded,
+                        )
+                    self.last_final_configuration = vector.last_final_configuration
+                    return execution
         self.last_run_backend = "dict"
         if set(initial) != set(self._vertices):
             raise SimulationError(
@@ -497,6 +506,10 @@ class IncrementalEngine:
                 current = buffer.snapshot() if changes else current
                 configurations.append(current)
 
+        # The buffer already holds the final states; snapshotting it here is
+        # O(n) once, versus an O(steps · Δ) delta replay through
+        # ``Execution.final`` on a light trace.
+        self.last_final_configuration = buffer.snapshot() if light else current
         if light:
             return Execution.from_activations(
                 initial=initial,

@@ -742,7 +742,14 @@ class VectorEngine:
     steady state — unison under the synchronous daemon — it never does).
     """
 
-    __slots__ = ("_protocol", "_index", "_codec", "_kernel", "_subset_refresh")
+    __slots__ = (
+        "_protocol",
+        "_index",
+        "_codec",
+        "_kernel",
+        "_subset_refresh",
+        "last_final_configuration",
+    )
 
     #: Default superstep cadence: K synchronous steps executed per kernel
     #: block, and one state-array checkpoint retained per block boundary.
@@ -784,6 +791,10 @@ class VectorEngine:
         self._subset_refresh = (
             type(kernel).enabled_rules_for is not ArrayKernel.enabled_rules_for
         )
+        #: The final configuration of the most recent run (None before the
+        #: first).  Mirrors ``IncrementalEngine.last_final_configuration`` so
+        #: segment-wise callers never replay a light trace for its endpoint.
+        self.last_final_configuration: Optional[Configuration] = None
 
     def encode_initial(self, initial: Configuration):
         """``initial`` as an ``(n, width)`` array, or None when it does not
@@ -922,6 +933,12 @@ class VectorEngine:
                     rule_ids, states, selected, changed_rows
                 )
 
+        if light:
+            self.last_final_configuration = Configuration._from_trusted_dict(
+                dict(zip(vertices, codec.decode(states)))
+            )
+        else:
+            self.last_final_configuration = current
         activations = LazyActivations(actions)
         if light:
             return Execution.from_activations(
@@ -1133,6 +1150,13 @@ class VectorEngine:
             del step_counts[steps:]
             for key in [k for k in checkpoints if k > steps]:
                 del checkpoints[key]
+            # The live state array ran ahead of the rollback point; the
+            # replayer reconstructs the kept prefix's endpoint.
+            self.last_final_configuration = replayer.configuration_at(steps)
+        else:
+            self.last_final_configuration = Configuration._from_trusted_dict(
+                dict(zip(vertices, codec.decode(states)))
+            )
 
         selections = enabled_sets[:steps]
         action_log = _SuperstepActionLog(

@@ -6,6 +6,7 @@ from .faults import FAULT_MODELS, FAULT_MODEL_PARAMS, apply_fault
 from .parallel import parallel_map
 from . import (
     ablation_privilege_spacing,
+    adaptive_speculation,
     dijkstra_comparison,
     exact_small_n,
     fault_campaigns,
@@ -29,6 +30,7 @@ __all__ = [
     "FAULT_MODELS",
     "FAULT_MODEL_PARAMS",
     "ablation_privilege_spacing",
+    "adaptive_speculation",
     "apply_fault",
     "dijkstra_comparison",
     "exact_small_n",

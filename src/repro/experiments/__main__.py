@@ -132,7 +132,7 @@ def scenarios_main(argv: Sequence[str]) -> int:
     run_parser.add_argument(
         "--engine",
         default="auto",
-        choices=("auto", "reference", "incremental", "vector", "vector-superstep"),
+        choices=("auto", "adaptive", "reference", "incremental", "vector", "vector-superstep"),
         help="simulation engine backend (default: auto)",
     )
     run_parser.add_argument(
@@ -206,7 +206,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments",
         nargs="*",
         choices=list(EXPERIMENT_DRIVERS) + [[]],
-        help="experiment ids to run (default: all of E1..E9)",
+        help="experiment ids to run (default: all of E1..E10)",
     )
     parser.add_argument(
         "--write",
@@ -218,7 +218,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="fan the job-based sweeps (E3/E4/E6/E8/E9) across this many "
+        help="fan the job-based sweeps (E3/E4/E6/E8/E9/E10) across this many "
         "processes (results are identical; default: sequential)",
     )
     parser.add_argument(

@@ -46,8 +46,9 @@ __all__ = [
 EXPERIMENT_ID = "E9"
 
 #: Folded into every emitted spec's ``spec_key``; bump on any change to
-#: campaign semantics (segmenting, state transfer, recovery definitions).
-CODE_VERSION = "fault-campaigns/1"
+#: campaign semantics (segmenting, state transfer, recovery definitions)
+#: or to the scenario registry the campaign grid is built from.
+CODE_VERSION = "fault-campaigns/2"
 
 _RUNNER = "repro.experiments.fault_campaigns:run_job"
 

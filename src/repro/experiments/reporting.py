@@ -1,6 +1,6 @@
 """Assembling the full paper-vs-measured report.
 
-``run_all_experiments`` executes every experiment driver (E1–E9) and
+``run_all_experiments`` executes every experiment driver (E1–E10) and
 ``render_experiments_markdown`` turns the reports into the Markdown document
 stored as ``EXPERIMENTS.md`` at the repository root.
 
@@ -23,6 +23,7 @@ from ..exceptions import ExperimentError
 from ..jobs import Dispatcher, ProgressEvent, ResultStore
 from . import (
     ablation_privilege_spacing,
+    adaptive_speculation,
     dijkstra_comparison,
     exact_small_n,
     fault_campaigns,
@@ -77,7 +78,9 @@ class ExperimentDriver:
 #: The experiment drivers in presentation order.  E1–E6 reproduce paper
 #: artefacts; E7 is the ablation of the clock-size design choice; E8
 #: cross-validates the sampled sweeps against the exact model checker; E9
-#: runs the named fault-campaign scenarios (recurring faults + churn).
+#: runs the named fault-campaign scenarios (recurring faults + churn);
+#: E10 pins the adaptive layer (online engine/rule-set switching) against
+#: its static optima.
 #: Drivers declaring ``dispatcher`` emit their trial grids as job specs
 #: and ride the shared cache/worker-pool service layer.
 EXPERIMENT_DRIVERS: Dict[str, ExperimentDriver] = {
@@ -108,6 +111,11 @@ EXPERIMENT_DRIVERS: Dict[str, ExperimentDriver] = {
     "E9": ExperimentDriver(
         "E9",
         fault_campaigns.run_experiment,
+        capabilities=("dispatcher", "workers"),
+    ),
+    "E10": ExperimentDriver(
+        "E10",
+        adaptive_speculation.run_experiment,
         capabilities=("dispatcher", "workers"),
     ),
 }

@@ -330,6 +330,24 @@ SCENARIOS: Dict[str, Scenario] = _register(
         ),
     ),
     Scenario(
+        name="ssme-ring24-regime-switch",
+        protocol="ssme",
+        topology="ring",
+        n=24,
+        daemon="regime-switch",
+        horizon=520,
+        seed=1009,
+        fault_model="single-vertex",
+        schedule=FaultSchedule(kind="periodic", offset=16, period=64),
+        description=(
+            "SSME on a ring under the regime-switching daemon (alternating "
+            "synchronous and sparse phases) with periodic single-node "
+            "faults: recovery must hold across phase boundaries, and the "
+            "adaptive engine's promotion/demotion cycle (E10) is exercised "
+            "by the same workload shape."
+        ),
+    ),
+    Scenario(
         name="ssme-binarytree15-churn-recovery",
         protocol="ssme",
         topology="binary_tree",

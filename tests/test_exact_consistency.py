@@ -9,9 +9,10 @@ violation means either the sampler over-reports (safety monitoring bug,
 horizon accounting bug) or the solver under-reports (expansion missing
 schedules, fixpoint converging too early).
 
-The property is fuzzed across protocol families (Dijkstra, unison, SSME),
-daemon classes (synchronous / central / distributed) with their matching
-sampled daemons, seeds, and workloads of random initial configurations.
+The property is fuzzed across protocol families (Dijkstra, unison, SSME,
+and the silent baselines BFS tree and maximal matching), daemon classes
+(synchronous / central / distributed) with their matching sampled daemons,
+seeds, and workloads of random initial configurations.
 """
 
 from __future__ import annotations
@@ -22,16 +23,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.baselines import BfsSpanningTree, BfsTreeSpec, MaximalMatching, MaximalMatchingSpec
 from repro.core import (
     CentralDaemon,
     DistributedDaemon,
     SynchronousDaemon,
     worst_case_stabilization,
 )
-from repro.graphs import ring_graph
+from repro.graphs import path_graph, ring_graph
 from repro.mutex import SSME, DijkstraTokenRing, MutualExclusionSpec
 from repro.unison import AsynchronousUnison, AsynchronousUnisonSpec
-from repro.verify import verify_stabilization
+from repro.verify import StateSpace, verify_stabilization
 
 #: (instance builder, horizon) per family; sizes stay small enough that the
 #: reachable closures solve in milliseconds.
@@ -50,6 +52,17 @@ def _ssme(n):
     return protocol, MutualExclusionSpec(protocol), protocol.K + 8 * protocol.alpha + 40
 
 
+def _bfs(n):
+    protocol = BfsSpanningTree(path_graph(n))
+    return protocol, BfsTreeSpec(protocol), 20 * n + 40
+
+
+def _matching(n):
+    protocol = MaximalMatching(ring_graph(n))
+    # The paper's distributed-daemon bound is 4n + 2m steps.
+    return protocol, MaximalMatchingSpec(protocol), 6 * n + 40
+
+
 INSTANCES = {
     "dijkstra-3": lambda: _dijkstra(3),
     "dijkstra-4": lambda: _dijkstra(4),
@@ -57,6 +70,10 @@ INSTANCES = {
     "unison-3": lambda: _unison(3),
     "unison-4": lambda: _unison(4),
     "ssme-4": lambda: _ssme(4),
+    "bfs-3": lambda: _bfs(3),
+    "bfs-4": lambda: _bfs(4),
+    "matching-3": lambda: _matching(3),
+    "matching-4": lambda: _matching(4),
 }
 
 #: Daemon class -> a sampled daemon whose every selection the class admits.
@@ -122,3 +139,25 @@ def test_exact_dominates_sampled_on_the_shared_theorem2_workload(n):
     ).max_steps
     assert sampled is not None
     assert result.exact_worst_case >= sampled
+
+
+def test_baselines_declare_exactly_checkable_state_spaces():
+    """The Section 3 baselines are exactly checkable: their declared
+    per-vertex domains enumerate correctly and the full product space is
+    certified stabilizing (smoke sizes)."""
+    bfs = BfsSpanningTree(path_graph(4))
+    for vertex in bfs.graph.vertices:
+        assert tuple(bfs.vertex_state_space(vertex)) == tuple(range(bfs.max_level + 1))
+    assert StateSpace(bfs).size == (bfs.max_level + 1) ** 4
+    result = verify_stabilization(bfs, BfsTreeSpec(bfs), "distributed")
+    assert result.exhaustive and result.stabilizes
+
+    matching = MaximalMatching(ring_graph(3))
+    for vertex in matching.graph.vertices:
+        domain = tuple(matching.vertex_state_space(vertex))
+        assert len(domain) == 2 * (len(matching.graph.neighbors(vertex)) + 1)
+        assert len(set(domain)) == len(domain)
+        for state in domain:
+            matching.validate_state(vertex, state)
+    result = verify_stabilization(matching, MaximalMatchingSpec(matching), "central")
+    assert result.exhaustive and result.stabilizes

@@ -178,6 +178,7 @@ class TestReporting:
             "E7",
             "E8",
             "E9",
+            "E10",
         }
 
     def test_run_all_selected(self):

@@ -118,10 +118,17 @@ class TestVertexStateSpaceCapability:
         assert list(protocol.vertex_state_space(0)) == list(range(protocol.K))
 
     def test_protocols_without_the_capability_are_rejected(self):
+        # Every library protocol now declares the hook (the Section 3
+        # baselines included), so the rejection path needs one that
+        # explicitly opts back out.
         from repro.baselines import BfsSpanningTree
 
+        class UndeclaredBfs(BfsSpanningTree):
+            def vertex_state_space(self, vertex):
+                return None
+
         with pytest.raises(VerificationError, match="vertex_state_space"):
-            StateSpace(BfsSpanningTree(path_graph(3)))
+            StateSpace(UndeclaredBfs(path_graph(3)))
 
 
 class TestStateSpace:
