@@ -39,6 +39,10 @@ class BfsSpanningTree(Protocol):
 
     name = "bfs-min-plus-one"
 
+    #: Both actions write ``0`` or ``min(min_neighbor + 1, n)`` — always a
+    #: legal level — so the vectorized firing path may skip re-validation.
+    actions_preserve_validity = True
+
     RULE_ROOT = "R0"
     RULE_MIN_PLUS_ONE = "M1"
 
@@ -100,6 +104,27 @@ class BfsSpanningTree(Protocol):
         """The full level domain — makes the instance exactly checkable."""
         del vertex
         return tuple(range(self._max_level + 1))
+
+    # ------------------------------------------------------------------ #
+    # Array-state capability
+    # ------------------------------------------------------------------ #
+    def array_codec(self):
+        """Levels are plain ints — the trivial width-1 codec."""
+        from ..core.vector import IntCodec, numpy_available
+
+        if not numpy_available():
+            return None
+        return IntCodec()
+
+    def array_kernel(self):
+        """The vectorized R0/M1 kernel."""
+        from ..core.vector import numpy_available
+
+        if not numpy_available():
+            return None
+        from .array_kernel import BfsTreeArrayKernel
+
+        return BfsTreeArrayKernel(self)
 
     # ------------------------------------------------------------------ #
     # Output

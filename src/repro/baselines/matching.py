@@ -60,6 +60,11 @@ class MaximalMatching(Protocol):
 
     name = "maximal-matching"
 
+    #: Every action writes ``None`` or a neighbour as the pointer and a
+    #: plain bool as the cache bit — always a legal :class:`MatchingState`
+    #: — so the vectorized firing path may skip re-validation.
+    actions_preserve_validity = True
+
     RULE_UPDATE = "Update"
     RULE_MARRIAGE = "Marriage"
     RULE_SEDUCTION = "Seduction"
@@ -194,6 +199,29 @@ class MaximalMatching(Protocol):
             for pointer in pointers
             for married in (False, True)
         )
+
+    # ------------------------------------------------------------------ #
+    # Array-state capability
+    # ------------------------------------------------------------------ #
+    def array_codec(self):
+        """The width-2 (pointer rank, married bit) codec."""
+        from ..core.vector import numpy_available
+
+        if not numpy_available():
+            return None
+        from .array_kernel import MatchingCodec
+
+        return MatchingCodec(self)
+
+    def array_kernel(self):
+        """The vectorized Update/Marriage/Seduction/Abandonment kernel."""
+        from ..core.vector import numpy_available
+
+        if not numpy_available():
+            return None
+        from .array_kernel import MatchingArrayKernel
+
+        return MatchingArrayKernel(self)
 
     # ------------------------------------------------------------------ #
     # Output

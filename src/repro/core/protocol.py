@@ -81,6 +81,17 @@ class Protocol(ABC):
     #: actually holds for every rule.
     actions_preserve_validity: bool = False
 
+    #: Whether the protocol is *anonymous*: its rules read only local state
+    #: and the neighbour state multiset, never vertex identities, so every
+    #: graph automorphism maps executions to executions.  Required (together
+    #: with the specification-side flag) for the exact checker's symmetry
+    #: quotient (:class:`repro.verify.SymmetryReducer`).  Leave False unless
+    #: the equivariance property actually holds for every rule — identity-
+    #: dependent protocols (SSME's privileged values, BFS roots, matching
+    #: identities) must keep it False even when a symmetric superclass sets
+    #: it True.
+    vertex_symmetric: bool = False
+
     def has_stock_enabledness(self) -> bool:
         """Whether this protocol keeps the base-class enabledness chain.
 
@@ -389,3 +400,17 @@ class PrivilegeAware(ABC):
         return frozenset(
             v for v in graph.vertices if self.is_privileged(configuration, v)
         )
+
+    def privileged_rows(self, rows, order):
+        """Optional batch capability: the ``(m, n)`` boolean privilege matrix
+        of an ``(m, n, width)`` array of codec-encoded configurations, with
+        columns aligned to the vertex tuple ``order``.
+
+        Must agree entry-for-entry with :meth:`is_privileged` on the decoded
+        configurations — the exact checker's batched safety evaluation
+        (``spec_ME``) builds on it.  The base implementation returns
+        ``None``, meaning "unsupported": callers then decode and evaluate
+        per configuration.
+        """
+        del rows, order
+        return None

@@ -36,12 +36,35 @@ class Specification(ABC):
     #: Human-readable name ("spec_ME", "spec_AU", ...).
     name: str = "spec"
 
+    #: Whether the safety predicate is invariant under graph automorphisms
+    #: (``is_safe(g·γ) == is_safe(γ)`` for every automorphism ``g``).  The
+    #: exact checker's symmetry quotient requires this *and* the protocol's
+    #: :attr:`repro.core.Protocol.vertex_symmetric`.  Identity-dependent
+    #: specifications (mutual exclusion over identity-spaced privileged
+    #: values, rooted trees) must keep it False.
+    vertex_symmetric: bool = False
+
     # ------------------------------------------------------------------ #
     # Safety
     # ------------------------------------------------------------------ #
     @abstractmethod
     def is_safe(self, configuration: Configuration, protocol: Protocol) -> bool:
         """Whether ``configuration`` satisfies the safety predicate."""
+
+    def safe_rows(self, rows, order, protocol: Protocol):
+        """Optional batch capability: the ``(m,)`` boolean safety vector of
+        an ``(m, n, width)`` array of codec-encoded configurations, with
+        columns aligned to the vertex tuple ``order``.
+
+        Must agree entry-for-entry with :meth:`is_safe` on the decoded
+        configurations — the exact checker's batched expansion
+        (:mod:`repro.verify.batched`) calls it once per frontier instead of
+        once per configuration.  The base implementation returns ``None``,
+        meaning "unsupported": the checker then decodes and evaluates per
+        configuration (correct, just slower).
+        """
+        del rows, order, protocol
+        return None
 
     def first_unsafe_index(
         self, execution: Execution, protocol: Protocol, start: int = 0

@@ -73,9 +73,12 @@ __all__ = [
     "GraphIndex",
     "IntCodec",
     "IntTupleCodec",
+    "TiledGraphIndex",
     "VectorEngine",
     "numpy_available",
     "protocol_supports_vector",
+    "tile_block_positions",
+    "tile_block_values",
     "vector_eligible",
 ]
 
@@ -245,6 +248,116 @@ class GraphIndex:
         stops = self.indptr[changed + 1]
         neighbors = self.indices[_concat_ranges(starts, stops, stops - starts)]
         return np.unique(np.concatenate((changed, neighbors)))
+
+    def min_over_edges(self, edge_values, empty):
+        """Per-vertex ``min`` of a per-adjacency-entry int array.
+
+        Vertices without neighbours reduce to ``empty``.  Uses ``reduceat``
+        over the CSR segment starts; empty segments are masked out rather
+        than handed to ``reduceat`` (whose empty-segment semantics return
+        the *next* segment's first entry).
+        """
+        import numpy as np
+
+        out = np.full(self.n, empty, dtype=np.int64)
+        counts = self.indptr[1:] - self.indptr[:-1]
+        nonempty = counts > 0
+        if nonempty.any():
+            starts = self.indptr[:-1][nonempty]
+            out[nonempty] = np.minimum.reduceat(edge_values, starts)
+        return out
+
+    def max_over_edges(self, edge_values, empty):
+        """Per-vertex ``max`` of a per-adjacency-entry int array (see
+        :meth:`min_over_edges`)."""
+        import numpy as np
+
+        out = np.full(self.n, empty, dtype=np.int64)
+        counts = self.indptr[1:] - self.indptr[:-1]
+        nonempty = counts > 0
+        if nonempty.any():
+            starts = self.indptr[:-1][nonempty]
+            out[nonempty] = np.maximum.reduceat(edge_values, starts)
+        return out
+
+
+class TiledGraphIndex(GraphIndex):
+    """``blocks`` disjoint copies of a base :class:`GraphIndex`.
+
+    The batched exact checker (:mod:`repro.verify.batched`) stacks ``B``
+    frontier configurations of an ``n``-vertex instance into one
+    ``(B·n, width)`` state array and runs the protocol's unmodified
+    :class:`ArrayKernel` over it in a single call.  The kernel only ever
+    reads the graph through the CSR arrays, so a block-diagonal replication
+    of the base adjacency — block ``b`` owning rows ``[b·n, (b+1)·n)`` with
+    all edges kept inside the block — makes every array operation compute
+    ``B`` independent instances at once.
+
+    Kernels whose :meth:`ArrayKernel.prepare` precomputes *positional*
+    arrays from vertex identities (a root row, a ring-predecessor map) must
+    detect tiling via :attr:`base`/:attr:`blocks` and tile those arrays with
+    per-block offsets; purely structural kernels (unison) work unchanged.
+
+    ``vertices``/``position`` keep the base geometry (block 0): tiled
+    indexes are internal to batch expansion and never serve id lookups for
+    rows outside block 0.
+    """
+
+    __slots__ = ("base", "blocks", "base_n")
+
+    def __init__(self, base: GraphIndex, blocks: int) -> None:
+        import numpy as np
+
+        if blocks < 1:
+            raise SimulationError("TiledGraphIndex needs at least one block")
+        # Fill the GraphIndex slots directly: there is no Graph object with
+        # duplicated vertices to construct one from.
+        self.base = base
+        self.blocks = blocks
+        self.base_n = base.n
+        self.vertices = base.vertices
+        self.position = base.position
+        n = self.n = base.n * blocks
+        entries = int(base.indices.size)
+        degrees = base.indptr[1:] - base.indptr[:-1]
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.tile(degrees, blocks), out=self.indptr[1:])
+        row_offsets = np.repeat(
+            np.arange(blocks, dtype=np.int64) * base.n, entries
+        )
+        self.indices = np.tile(base.indices, blocks) + row_offsets
+        self.edge_src = np.tile(base.edge_src, blocks) + row_offsets
+
+
+def tile_block_values(values, index: GraphIndex):
+    """``values`` (one entry per base row) tiled across an index's blocks.
+
+    Identity on a plain :class:`GraphIndex`; ``np.tile`` across blocks on a
+    :class:`TiledGraphIndex`.  The standard helper for kernels whose
+    ``prepare`` builds per-vertex arrays from vertex identities.
+    """
+    import numpy as np
+
+    if isinstance(index, TiledGraphIndex):
+        return np.tile(values, index.blocks)
+    return values
+
+
+def tile_block_positions(positions, index: GraphIndex):
+    """Per-base-row *row positions* tiled with per-block offsets.
+
+    For positional arrays (e.g. a ring-predecessor map ``row -> pred row``)
+    each block's copy must point inside its own block.
+    """
+    import numpy as np
+
+    if isinstance(index, TiledGraphIndex):
+        offsets = np.repeat(
+            np.arange(index.blocks, dtype=np.int64) * index.base_n,
+            index.base_n,
+        )
+        return np.tile(positions, index.blocks) + offsets
+    return positions
 
 
 def _concat_ranges(starts, stops, counts):

@@ -9,6 +9,12 @@ differs (and copies).  Guard-by-guard equivalence with
 ``tests/test_vector_kernel.py``; trace equivalence by the engine
 equivalence suite.
 
+The kernel is tiling-aware: prepared on a
+:class:`~repro.core.vector.TiledGraphIndex` (the batched exact checker
+stacks thousands of ring copies block-diagonally), the predecessor map is
+replicated with per-block offsets and the scalar bottom row becomes a
+boolean mask with one bottom machine per block.
+
 This module imports NumPy at load time and is therefore only imported from
 :meth:`DijkstraTokenRing.array_kernel` after a ``numpy_available`` check.
 """
@@ -17,7 +23,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.vector import ArrayKernel, GraphIndex
+from ..core.vector import (
+    ArrayKernel,
+    GraphIndex,
+    tile_block_positions,
+    tile_block_values,
+)
 
 __all__ = ["DijkstraArrayKernel"]
 
@@ -33,23 +44,24 @@ class DijkstraArrayKernel(ArrayKernel):
             v: protocol.predecessor(v) for v in protocol.graph.vertices
         }
         self._pred_pos = None
-        self._bottom_pos = -1
+        self._is_bottom = None
 
     def prepare(self, index: GraphIndex) -> None:
-        self._pred_pos = np.fromiter(
+        base_pred = np.fromiter(
             (index.position[self._predecessor_of[v]] for v in index.vertices),
             dtype=np.int64,
-            count=index.n,
+            count=len(index.vertices),
         )
-        self._bottom_pos = index.position[self._bottom]
+        base_bottom = np.zeros(len(index.vertices), dtype=bool)
+        base_bottom[index.position[self._bottom]] = True
+        self._pred_pos = tile_block_positions(base_pred, index)
+        self._is_bottom = tile_block_values(base_bottom, index)
 
     def enabled_rules(self, states, index: GraphIndex):
         s = states[:, 0]
         differs = s != s[self._pred_pos]
-        bottom = self._bottom_pos
-        enabled = differs
-        enabled[bottom] = not differs[bottom]
-        return np.where(enabled, 0, np.int64(-1))
+        enabled = np.where(self._is_bottom, ~differs, differs)
+        return np.where(enabled, np.int64(0), np.int64(-1))
 
     def enabled_rules_for(self, states, rows, index: GraphIndex):
         """Subset guard evaluation for the vectorized sparse refresh —
@@ -57,13 +69,13 @@ class DijkstraArrayKernel(ArrayKernel):
         the predecessors of ``rows``."""
         s = states[:, 0]
         differs = s[rows] != s[self._pred_pos[rows]]
-        enabled = np.where(rows == self._bottom_pos, ~differs, differs)
+        enabled = np.where(self._is_bottom[rows], ~differs, differs)
         return np.where(enabled, np.int64(0), np.int64(-1))
 
     def fire(self, states, selected, rule_ids, index: GraphIndex):
         s = states[:, 0]
         new = s[self._pred_pos[selected]]
-        bottom_rows = selected == self._bottom_pos
+        bottom_rows = self._is_bottom[selected]
         if bottom_rows.any():
             new = np.where(bottom_rows, (s[selected] + 1) % self._K, new)
         return new.reshape(-1, 1)

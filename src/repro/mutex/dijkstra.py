@@ -228,6 +228,24 @@ class DijkstraTokenRing(Protocol, PrivilegeAware):
         count = int(np.count_nonzero(differs))
         return count - 1 if differs[cached[2]] else count + 1
 
+    def privileged_rows(self, rows, order):
+        """Batch privilege matrix for the exact checker: non-bottom machines
+        are privileged iff their counter differs from their predecessor's,
+        the bottom machine iff it matches."""
+        import numpy as np
+
+        position = {v: i for i, v in enumerate(order)}
+        pred = np.fromiter(
+            (position[self._predecessor[v]] for v in order),
+            dtype=np.int64,
+            count=len(order),
+        )
+        values = rows[:, :, 0]
+        differs = values != values[:, pred]
+        bottom = position[self._bottom]
+        differs[:, bottom] = ~differs[:, bottom]
+        return differs
+
     def legitimate_configuration(self, value: int = 0) -> Configuration:
         """The canonical legitimate configuration: every counter equal."""
         if not 0 <= value < self._K:

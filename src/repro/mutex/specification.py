@@ -95,6 +95,16 @@ class MutualExclusionSpec(Specification):
         """Number of privileged vertices (0 or 1 in safe configurations)."""
         return len(self._protocol.privileged_vertices(configuration))
 
+    def safe_rows(self, rows, order, protocol: Protocol):
+        """Batch safety for the exact checker: at most one privileged vertex
+        per row, through the protocol's ``privileged_rows`` capability
+        (``None`` — per-configuration fallback — when it lacks one)."""
+        del protocol
+        privileged = self._protocol.privileged_rows(rows, order)
+        if privileged is None:
+            return None
+        return privileged.sum(axis=1) <= 1
+
     # ------------------------------------------------------------------ #
     # Liveness: every vertex executes its critical section in the window
     # ------------------------------------------------------------------ #

@@ -83,6 +83,11 @@ class SSME(AsynchronousUnison, PrivilegeAware):
 
     name = "SSME"
 
+    #: Privileged values are spaced by vertex *identity* (``2n + 2·diam·id``),
+    #: so automorphisms do not map executions of the mutual-exclusion layer
+    #: to executions: the unison superclass's symmetry does not survive.
+    vertex_symmetric = False
+
     def __init__(self, graph: Graph, diam: Optional[int] = None) -> None:
         computed_diam = diameter(graph) if diam is None else diam
         if diam is not None and graph.n <= _DIAM_VALIDATION_LIMIT:
@@ -196,3 +201,15 @@ class SSME(AsynchronousUnison, PrivilegeAware):
             )
             self._pv_rows = cached = (order, pv)
         return int(np.count_nonzero(view.raw_states()[:, 0] == cached[1]))
+
+    def privileged_rows(self, rows, order):
+        """Batch privilege matrix for the exact checker: a vertex is
+        privileged exactly when its register holds its privileged value."""
+        import numpy as np
+
+        pv = np.fromiter(
+            (self._privileged_values[v] for v in order),
+            dtype=np.int64,
+            count=len(order),
+        )
+        return rows[:, :, 0] == pv

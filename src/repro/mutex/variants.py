@@ -61,6 +61,10 @@ class ParametricClockMutex(AsynchronousUnison, PrivilegeAware):
 
     name = "parametric-clock-mutex"
 
+    #: Identity-spaced privileged values, like SSME: not automorphism-
+    #: equivariant despite the symmetric unison superclass.
+    vertex_symmetric = False
+
     def __init__(
         self,
         graph: Graph,
@@ -134,6 +138,18 @@ class ParametricClockMutex(AsynchronousUnison, PrivilegeAware):
     # ------------------------------------------------------------------ #
     def is_privileged(self, configuration: Configuration, vertex: VertexId) -> bool:
         return configuration[vertex] == self.privileged_value(vertex)
+
+    def privileged_rows(self, rows, order):
+        """Batch privilege matrix for the exact checker (see
+        :meth:`repro.mutex.SSME.privileged_rows`)."""
+        import numpy as np
+
+        pv = np.fromiter(
+            (self._privileged_values[v] for v in order),
+            dtype=np.int64,
+            count=len(order),
+        )
+        return rows[:, :, 0] == pv
 
     def guarantees_safety_in_gamma1(self) -> bool:
         """Whether the parameters make at most one privilege possible in Γ₁.

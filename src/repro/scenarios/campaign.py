@@ -81,6 +81,18 @@ def _make_dijkstra(graph: Graph):
     return DijkstraTokenRing(graph)
 
 
+def _make_bfs(graph: Graph):
+    from ..baselines import BfsSpanningTree
+
+    return BfsSpanningTree(graph)
+
+
+def _make_matching(graph: Graph):
+    from ..baselines import MaximalMatching
+
+    return MaximalMatching(graph)
+
+
 def _spec_mutex(protocol):
     from ..mutex import MutualExclusionSpec
 
@@ -93,6 +105,18 @@ def _spec_unison(protocol):
     return AsynchronousUnisonSpec(protocol)
 
 
+def _spec_bfs(protocol):
+    from ..baselines import BfsTreeSpec
+
+    return BfsTreeSpec(protocol)
+
+
+def _spec_matching(protocol):
+    from ..baselines import MaximalMatchingSpec
+
+    return MaximalMatchingSpec(protocol)
+
+
 #: Protocol families campaigns can run: short name -> (protocol factory,
 #: specification factory).  The factory is re-invoked on every churn event
 #: — rebuilding the protocol on the mutated graph is what re-derives clock
@@ -102,6 +126,8 @@ PROTOCOL_FAMILIES: Dict[str, Tuple[Callable[[Graph], Any], Callable[[Any], Any]]
     "ssme": (_make_ssme, _spec_mutex),
     "unison": (_make_unison, _spec_unison),
     "dijkstra": (_make_dijkstra, _spec_mutex),
+    "bfs": (_make_bfs, _spec_bfs),
+    "matching": (_make_matching, _spec_matching),
 }
 
 
@@ -262,6 +288,16 @@ class EventOutcome:
         }
 
 
+def _jsonable(value: Any) -> Any:
+    """JSON-able rendering of a vertex or state: primitives pass through,
+    structured states (e.g. the matching protocol's ``MatchingState``)
+    degrade to their deterministic ``repr`` — the cached result only needs
+    a stable, comparable form, not a decodable one."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
 @dataclass(frozen=True)
 class CampaignResult:
     """Everything a campaign run measured, in JSON-able form."""
@@ -308,7 +344,10 @@ class CampaignResult:
             "longest_unsafe_window": self.longest_unsafe_window,
             "unsafe_windows": [list(window) for window in self.unsafe_windows],
             "final_safe": self.final_safe,
-            "final_configuration": [list(pair) for pair in self.final_configuration],
+            "final_configuration": [
+                [_jsonable(vertex), _jsonable(state)]
+                for vertex, state in self.final_configuration
+            ],
             "observed_indices": self.observed_indices,
             "recovered_all": self.recovered_all,
             "max_recovery": self.max_recovery,

@@ -348,6 +348,43 @@ SCENARIOS: Dict[str, Scenario] = _register(
         ),
     ),
     Scenario(
+        name="bfs-binarytree15-root-reseat",
+        protocol="bfs",
+        topology="binary_tree",
+        n=15,
+        daemon="sd",
+        horizon=200,
+        seed=1010,
+        fault_model="single-vertex",
+        fault_params={"count": 2},
+        schedule=FaultSchedule(kind="periodic", offset=10, period=50),
+        initial="random",
+        description=(
+            "The min+1 BFS tree on a binary tree from arbitrary corrupted "
+            "levels, absorbing recurring two-node level corruption (one of "
+            "the accidentally speculative baselines: Theta(diam) synchronous "
+            "vs Theta(n^2) distributed)."
+        ),
+    ),
+    Scenario(
+        name="matching-ring12-proposal-storm",
+        protocol="matching",
+        topology="ring",
+        n=12,
+        daemon="dd",
+        horizon=300,
+        seed=1012,
+        fault_model="single-vertex",
+        schedule=FaultSchedule(kind="poisson", offset=8, rate=0.02),
+        initial="random",
+        description=(
+            "Manne et al. maximal matching on a ring from random pointers "
+            "under the distributed daemon, with memoryless single-node "
+            "pointer corruption (the 4n+2m-step accidentally speculative "
+            "baseline)."
+        ),
+    ),
+    Scenario(
         name="ssme-binarytree15-churn-recovery",
         protocol="ssme",
         topology="binary_tree",

@@ -24,6 +24,10 @@ class AsynchronousUnisonSpec(Specification):
 
     name = "spec_AU"
 
+    #: Γ₁ membership (correct registers, drift ≤ 1 over edges) only reads
+    #: register values over the edge set, which automorphisms preserve.
+    vertex_symmetric = True
+
     def __init__(self, protocol: AsynchronousUnison) -> None:
         if not isinstance(protocol, AsynchronousUnison):
             raise SpecificationError(
@@ -37,6 +41,29 @@ class AsynchronousUnisonSpec(Specification):
     def is_safe(self, configuration: Configuration, protocol: Protocol) -> bool:
         del protocol  # the spec is bound to its own protocol instance
         return self._protocol.is_legitimate(configuration)
+
+    def safe_rows(self, rows, order, protocol: Protocol):
+        """Batch Γ₁ membership for the exact checker: every register correct
+        (``>= 0``; the cherry domain is bounded above by ``K``) and every
+        edge's cyclic drift at most 1."""
+        del protocol
+        import numpy as np
+
+        bound = self._protocol
+        position = {v: i for i, v in enumerate(order)}
+        sources = []
+        targets = []
+        for u, v in bound.graph.edges:
+            sources.append(position[u])
+            targets.append(position[v])
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(targets, dtype=np.int64)
+        values = rows[:, :, 0]
+        correct = (values >= 0).all(axis=1)
+        K = bound.clock.K
+        diff = (values[:, src] - values[:, dst]) % K
+        drift_ok = (np.minimum(diff, K - diff) <= 1).all(axis=1)
+        return correct & drift_ok
 
     # ------------------------------------------------------------------ #
     # Liveness: every clock incremented in the window

@@ -17,19 +17,41 @@ package closes that gap on small instances by explicit-state game solving:
   an extracted :class:`LassoCounterexample`, and the exact speculation gap
   (:func:`exact_speculation_gap`).
 
+Two orthogonal accelerations keep exactness while scaling the reach
+(``verify_stabilization(engine=..., symmetry=...)`` turns them on):
+
+* :class:`BatchedTransitionSystem` / :func:`solve_arrays`
+  (:mod:`repro.verify.batched`) re-run the same exploration and game as
+  NumPy array programs over the PR 3 kernel machinery — thousands of
+  configurations expanded per kernel call, CSR frontier/value sweeps —
+  bit-identical to the dict path and picked automatically when available;
+* :class:`SymmetryReducer` (:mod:`repro.verify.symmetry`) quotients the
+  exploration by the graph automorphism group when the protocol and the
+  specification both declare ``vertex_symmetric`` (up to ``2n``-fold on
+  rings).
+
 See ``docs/verify.md`` for the encoding, the expansion rules, the solver
 semantics, and when exact verification applies versus sampling.
 """
 
+from .batched import (
+    ArrayExploredSystem,
+    ArrayGameSolution,
+    ArrayPacker,
+    BatchedTransitionSystem,
+    solve_arrays,
+)
 from .results import LassoCounterexample, SpeculationGapCertificate, VerificationResult
 from .solver import (
     GameSolution,
+    batched_supported,
     exact_speculation_gap,
     exact_worst_case_stabilization,
     solve,
     verify_stabilization,
 )
 from .statespace import DEFAULT_MAX_ENUMERATED, StateSpace
+from .symmetry import SymmetryReducer, ring_automorphisms
 from .transitions import (
     DAEMON_CLASSES,
     ExploredSystem,
@@ -38,6 +60,10 @@ from .transitions import (
 )
 
 __all__ = [
+    "ArrayExploredSystem",
+    "ArrayGameSolution",
+    "ArrayPacker",
+    "BatchedTransitionSystem",
     "DAEMON_CLASSES",
     "DEFAULT_MAX_ENUMERATED",
     "ExploredSystem",
@@ -45,11 +71,15 @@ __all__ = [
     "LassoCounterexample",
     "SpeculationGapCertificate",
     "StateSpace",
+    "SymmetryReducer",
     "TransitionSystem",
     "VerificationResult",
+    "batched_supported",
     "daemon_class_selections",
     "exact_speculation_gap",
     "exact_worst_case_stabilization",
+    "ring_automorphisms",
     "solve",
+    "solve_arrays",
     "verify_stabilization",
 ]

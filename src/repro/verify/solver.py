@@ -47,10 +47,20 @@ from ..core.state import Configuration
 from ..exceptions import VerificationError
 from .results import LassoCounterexample, SpeculationGapCertificate, VerificationResult
 from .statespace import StateSpace
+from .symmetry import SymmetryReducer
 from .transitions import ExploredSystem, TransitionSystem, daemon_class_selections
+
+
+def batched_supported(protocol: Protocol, specification: Specification) -> bool:
+    """Re-exported probe (see :func:`repro.verify.batched.batched_supported`);
+    imported lazily so the solver module itself never touches NumPy."""
+    from .batched import batched_supported as probe
+
+    return probe(protocol, specification)
 
 __all__ = [
     "GameSolution",
+    "batched_supported",
     "solve",
     "verify_stabilization",
     "exact_worst_case_stabilization",
@@ -61,7 +71,7 @@ __all__ = [
 class GameSolution:
     """The solved game on one explored system (see the module docstring)."""
 
-    __slots__ = ("system", "legitimate", "values", "diverging")
+    __slots__ = ("system", "legitimate", "values", "diverging", "reducer")
 
     def __init__(
         self,
@@ -69,11 +79,15 @@ class GameSolution:
         legitimate: FrozenSet[int],
         values: Dict[int, int],
         diverging: FrozenSet[int],
+        reducer=None,
     ) -> None:
         self.system = system
         self.legitimate = legitimate
         self.values = values
         self.diverging = diverging
+        #: The symmetry reducer the system was explored under: keys are
+        #: orbit representatives and lassos need concrete unrolling.
+        self.reducer = reducer
 
     def worst_value_over(self, keys: Iterable[int]) -> Optional[int]:
         """Max value over ``keys`` — ``None`` if any of them diverges."""
@@ -146,6 +160,9 @@ class GameSolution:
             current = next_in_lasso(current)
         split = seen[current]
         stem_keys, cycle_keys = path[:split], path[split:]
+        violates_safety = any(not self.system.safe[key] for key in cycle_keys)
+        if self.reducer is not None:
+            return self._concretize_lasso(stem_keys, cycle_keys, violates_safety)
         stem, stem_selections = self._decode_walk(stem_keys + cycle_keys[:1])
         cycle, cycle_selections = self._decode_walk(cycle_keys + [current])
         return LassoCounterexample(
@@ -153,8 +170,82 @@ class GameSolution:
             cycle=cycle[:-1],
             stem_selections=stem_selections,
             cycle_selections=cycle_selections,
-            violates_safety=any(not self.system.safe[key] for key in cycle_keys),
+            violates_safety=violates_safety,
         )
+
+    def _concretize_lasso(
+        self,
+        stem_keys: Sequence[int],
+        cycle_keys: Sequence[int],
+        violates_safety: bool,
+    ) -> LassoCounterexample:
+        """Unroll a quotient lasso into a genuinely replayable one.
+
+        The quotient walk is over orbit representatives: the concrete
+        successor of a representative need not be the representative of
+        the next orbit, so decoding the quotient keys directly would not
+        yield an execution.  Instead the walk is replayed with *concrete*
+        configurations — each transition picks a selection whose concrete
+        successor lands in the right orbit — and the cycle is followed
+        until a (cycle position, concrete configuration) pair repeats.
+        Each lap around the quotient cycle applies a fixed automorphism to
+        the concrete trace, so a pair repeats within ``|G|`` laps and the
+        concrete cycle covers every quotient position at least once
+        (``violates_safety`` transfers: safety is orbit-invariant by the
+        reducer's contract).
+        """
+        space = self.system.space
+        start_key = stem_keys[0] if stem_keys else cycle_keys[0]
+        current = space.decode(start_key)
+        stem_configs: List[Configuration] = []
+        stem_selections: List[FrozenSet] = []
+        if stem_keys:  # an empty stem starts on the cycle: no step to take
+            for target in list(stem_keys[1:]) + [cycle_keys[0]]:
+                stem_configs.append(current)
+                selection, current = self._concrete_step(current, target)
+                stem_selections.append(selection)
+        length = len(cycle_keys)
+        walk_configs: List[Configuration] = []
+        walk_selections: List[FrozenSet] = []
+        seen: Dict[Tuple[int, int], int] = {}
+        position = 0
+        while (position, space.encode(current)) not in seen:
+            seen[(position, space.encode(current))] = len(walk_configs)
+            walk_configs.append(current)
+            target = cycle_keys[(position + 1) % length]
+            selection, current = self._concrete_step(current, target)
+            walk_selections.append(selection)
+            position = (position + 1) % length
+        cycle_start = seen[(position, space.encode(current))]
+        return LassoCounterexample(
+            stem=stem_configs + walk_configs[:cycle_start],
+            cycle=walk_configs[cycle_start:],
+            stem_selections=stem_selections + walk_selections[:cycle_start],
+            cycle_selections=walk_selections[cycle_start:],
+            violates_safety=violates_safety,
+        )
+
+    def _concrete_step(
+        self, configuration: Configuration, target_orbit_key: int
+    ) -> Tuple[FrozenSet, Configuration]:
+        """One concrete transition into the orbit ``target_orbit_key``."""
+        space = self.system.space
+        protocol = space.protocol
+        reducer = self.reducer
+        enabled, prepared = protocol.prepared_step(configuration)
+        if not enabled:
+            return frozenset(), configuration
+        for selection in daemon_class_selections(
+            self.system.daemon_class, enabled, max_selections=1 << 62
+        ):
+            successor, _records = protocol.apply(
+                configuration, selection, prepared=prepared
+            )
+            if reducer.canonical_key(space.encode(successor)) == target_orbit_key:
+                return selection, successor
+        raise VerificationError(
+            "failed to reconstruct a quotient lasso selection"
+        )  # pragma: no cover - the walk came from the relation
 
     def _decode_walk(
         self, keys: Sequence[int]
@@ -237,6 +328,7 @@ def solve(system: ExploredSystem) -> GameSolution:
         legitimate=frozenset(legitimate),
         values=values,
         diverging=diverging,
+        reducer=getattr(system, "reducer", None),
     )
 
 
@@ -251,6 +343,8 @@ def verify_stabilization(
     space: Optional[StateSpace] = None,
     max_states: Optional[int] = None,
     max_selections: Optional[int] = None,
+    engine: str = "auto",
+    symmetry=False,
 ) -> VerificationResult:
     """Exactly verify one (protocol, specification, daemon class) instance.
 
@@ -260,14 +354,68 @@ def verify_stabilization(
     configurations verifies the reachable closure of that region instead:
     exact for every schedule of the daemon class from those initials, and
     feasible even when the product space is astronomical (SSME).
+
+    ``engine`` selects the exploration backend: ``"dict"`` is the
+    pure-Python reference path, ``"batched"`` the NumPy-vectorized one
+    (:mod:`repro.verify.batched`), and ``"auto"`` (default) picks batched
+    whenever the protocol declares the array capabilities and NumPy is
+    importable — both engines produce bit-identical results by design, so
+    the choice is purely a matter of speed.
+
+    ``symmetry`` opts into the automorphism quotient
+    (:mod:`repro.verify.symmetry`): ``False`` (default) explores concrete
+    configurations, ``True`` requires a sound reducer (raising when the
+    instance declares none), ``"auto"`` quotients when sound and falls back
+    to concrete exploration otherwise.  Under a quotient, state, transition
+    and legitimate *counts* are per-orbit; per-configuration values and the
+    stabilization verdict are preserved exactly.
     """
+    if engine not in ("auto", "dict", "batched"):
+        raise VerificationError(
+            f"unknown engine {engine!r}; known: auto, dict, batched"
+        )
+    if symmetry not in (False, True, "auto"):
+        raise VerificationError(
+            f"unknown symmetry mode {symmetry!r}; known: False, True, 'auto'"
+        )
+    space = space if space is not None else StateSpace(protocol)
+    reducer = None
+    if symmetry is not False:
+        reducer = SymmetryReducer.for_instance(protocol, specification, space)
+        if reducer is None and symmetry is True:
+            raise VerificationError(
+                f"no sound symmetry reducer for protocol {protocol.name!r} "
+                f"under specification {specification.name!r}: both must "
+                "declare vertex_symmetric (and the automorphism group must "
+                "be non-trivial)"
+            )
     kwargs = {}
     if max_states is not None:
         kwargs["max_states"] = max_states
     if max_selections is not None:
         kwargs["max_selections"] = max_selections
+    use_batched = engine == "batched"
+    if engine == "auto" and batched_supported(protocol, specification):
+        use_batched = True
+    if use_batched:
+        try:
+            return _verify_batched(
+                protocol,
+                specification,
+                daemon_class,
+                initial,
+                space,
+                reducer,
+                kwargs,
+            )
+        except VerificationError:
+            if engine == "batched":
+                raise
+            # auto: the cheap probe passed but construction found a reason
+            # the batched path cannot run (e.g. a codec layout too sparse
+            # to table) — the dict engine below is always available.
     transition_system = TransitionSystem(
-        protocol, specification, daemon_class, space=space, **kwargs
+        protocol, specification, daemon_class, space=space, reducer=reducer, **kwargs
     )
     if initial is None:
         system = transition_system.explore_full()
@@ -291,6 +439,53 @@ def verify_stabilization(
         values=solution.values,
         legitimate_keys=solution.legitimate,
         space=transition_system.space,
+        reducer=reducer,
+    )
+
+
+def _verify_batched(
+    protocol: Protocol,
+    specification: Specification,
+    daemon_class: str,
+    initial: Optional[Iterable[Configuration]],
+    space: StateSpace,
+    reducer,
+    kwargs: Dict,
+) -> VerificationResult:
+    """The batched-engine body of :func:`verify_stabilization`."""
+    from .batched import (
+        BatchedTransitionSystem,
+        _ArrayKeySet,
+        _ArrayValues,
+        solve_arrays,
+    )
+
+    transition_system = BatchedTransitionSystem(
+        protocol, specification, daemon_class, space=space, reducer=reducer, **kwargs
+    )
+    if initial is None:
+        system = transition_system.explore_full()
+    else:
+        system = transition_system.explore(initial)
+    solution = solve_arrays(system)
+    exact = solution.exact_worst_case
+    stabilizes = exact is not None
+    return VerificationResult(
+        protocol_name=protocol.name,
+        specification_name=specification.name,
+        daemon_class=system.daemon_class,
+        exhaustive=system.exhaustive,
+        state_count=system.state_count,
+        transition_count=system.transition_count,
+        legitimate_count=solution.legitimate_count,
+        diverging_count=solution.diverging_count,
+        exact_worst_case=exact,
+        stabilizes=stabilizes,
+        counterexample=None if stabilizes else solution.lasso(),
+        values=_ArrayValues(solution),
+        legitimate_keys=_ArrayKeySet(solution),
+        space=space,
+        reducer=reducer,
     )
 
 
@@ -317,6 +512,8 @@ def exact_speculation_gap(
     space: Optional[StateSpace] = None,
     max_states: Optional[int] = None,
     max_selections: Optional[int] = None,
+    engine: str = "auto",
+    symmetry=False,
 ) -> SpeculationGapCertificate:
     """The exact Definition 4 gap: both daemon classes solved on the *same*
     instance and the *same* initial region, no sampling on either side."""
@@ -330,6 +527,8 @@ def exact_speculation_gap(
         space=space,
         max_states=max_states,
         max_selections=max_selections,
+        engine=engine,
+        symmetry=symmetry,
     )
     weak = verify_stabilization(
         protocol,
@@ -339,5 +538,7 @@ def exact_speculation_gap(
         space=space,
         max_states=max_states,
         max_selections=max_selections,
+        engine=engine,
+        symmetry=symmetry,
     )
     return SpeculationGapCertificate(strong=strong, weak=weak)

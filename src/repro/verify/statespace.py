@@ -138,6 +138,17 @@ class StateSpace:
         """Number of configurations in the product space."""
         return self._size
 
+    @property
+    def domains(self) -> Tuple[Tuple[VertexStateLike, ...], ...]:
+        """Per-vertex declared domains, aligned with :attr:`vertices`."""
+        return self._domains
+
+    @property
+    def multipliers(self) -> Tuple[int, ...]:
+        """Mixed-radix positional multipliers, aligned with :attr:`vertices`
+        (``key = Σ index_i · multipliers[i]``)."""
+        return self._multipliers
+
     def domain(self, vertex: VertexId) -> Tuple[VertexStateLike, ...]:
         """The declared state space of ``vertex``."""
         try:
@@ -224,9 +235,16 @@ class StateSpace:
         lows = np.asarray(self._int_ranges, dtype=np.int64)
         sizes = np.asarray([len(d) for d in self._domains], dtype=np.int64)
         indices = rows - lows
-        if ((indices < 0) | (indices >= sizes)).any():
+        out_of_range = (indices < 0) | (indices >= sizes)
+        if out_of_range.any():
+            # Name the offending vertex and value: a generic message on a
+            # thousand-configuration batch is undebuggable, and silently
+            # producing a wrong packed key would be worse.
+            row, column = (int(x) for x in np.argwhere(out_of_range)[0])
+            vertex = self._vertices[column]
             raise VerificationError(
-                "a configuration holds a state outside the declared state space"
+                f"state {configurations[row][vertex]!r} of vertex {vertex!r} "
+                "is outside the declared state space"
             )
         # Object dtype: multipliers (and hence keys) can exceed int64 on
         # large products, and Python ints never overflow.

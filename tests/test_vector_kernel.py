@@ -35,6 +35,7 @@ from repro.core import (
     protocol_supports_vector,
 )
 from repro.exceptions import SimulationError
+from repro.baselines import BfsSpanningTree, MaximalMatching
 from repro.graphs import random_connected_graph, ring_graph, star_graph
 from repro.mutex import SSME, DijkstraTokenRing
 from repro.unison import AsynchronousUnison
@@ -164,6 +165,35 @@ def test_dijkstra_kernel_guards_match_python(state_seed):
         vertex = index.vertices[position]
         view, enabled_rules = protocol.evaluate(configuration, vertex)
         assert codec.decode(new_rows[row : row + 1])[0] == enabled_rules[0].apply(view)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [BfsSpanningTree, MaximalMatching],
+    ids=["bfs", "matching"],
+)
+@pytest.mark.parametrize("graph_seed", [0, 4, 9])
+@pytest.mark.parametrize("state_seed", [1, 7, 42])
+def test_baseline_kernel_guards_match_python(factory, graph_seed, state_seed):
+    graph = random_connected_graph(8, 0.35, random.Random(graph_seed))
+    protocol = factory(graph)
+    assert protocol_supports_vector(protocol)
+    kernel = protocol.array_kernel()
+    codec = protocol.array_codec()
+    index = GraphIndex(graph)
+    kernel.prepare(index)
+    configuration = protocol.random_configuration(random.Random(state_seed))
+    states = codec.encode(configuration, index.vertices)
+    rule_ids = kernel.enabled_rules(states, index)
+    for i, vertex in enumerate(index.vertices):
+        assert int(rule_ids[i]) == _expected_rule_id(protocol, configuration, vertex), vertex
+    enabled = np.flatnonzero(rule_ids != -1)
+    if enabled.size:
+        new_rows = kernel.fire(states, enabled, rule_ids[enabled], index)
+        for row, position in enumerate(enabled.tolist()):
+            vertex = index.vertices[position]
+            view, enabled_rules = protocol.evaluate(configuration, vertex)
+            assert codec.decode(new_rows[row : row + 1])[0] == enabled_rules[0].apply(view)
 
 
 @settings(max_examples=25, deadline=None)
@@ -381,11 +411,22 @@ class TestBackendSelection:
         assert Simulator(protocol, SynchronousDaemon()).engine == "vector-superstep"
         assert Simulator(protocol, CentralDaemon()).engine == "incremental"
         # Protocols without the capability resolve to incremental even for
-        # dense daemons.
-        from repro.baselines import MaximalMatching
+        # dense daemons.  (Every shipped protocol now declares the
+        # capability, so strip it off a subclass.)
+        class NoKernelMatching(MaximalMatching):
+            def array_codec(self):
+                return None
 
-        matching = MaximalMatching(ring_graph(8))
+            def array_kernel(self):
+                return None
+
+        matching = NoKernelMatching(ring_graph(8))
         assert Simulator(matching, SynchronousDaemon()).engine == "incremental"
+        # The baselines themselves now take the superstep loop under auto.
+        assert (
+            Simulator(MaximalMatching(ring_graph(8)), SynchronousDaemon()).engine
+            == "vector-superstep"
+        )
 
     def test_auto_selection_routes_mid_density_daemons_at_scale(self):
         """p >= 0.2 daemons take the array backend once n is large enough
